@@ -1,0 +1,138 @@
+// Command anmlview compiles guides into their off-target search
+// automata and dumps statistics, ANML (the Automata Processor's network
+// markup language), or MNRL-style JSON — the artifacts one would hand to
+// AP/FPGA automata toolchains.
+//
+// Usage:
+//
+//	anmlview -guide GGGTGGGGGGAGTTTGCTCC -k 3                 # stats
+//	anmlview -guide ... -k 3 -format anml > net.anml
+//	anmlview -guide ... -k 3 -merge -stride2 -format json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/cap-repro/crisprscan/internal/anml"
+	"github.com/cap-repro/crisprscan/internal/arch"
+	"github.com/cap-repro/crisprscan/internal/automata"
+	"github.com/cap-repro/crisprscan/internal/core"
+	"github.com/cap-repro/crisprscan/internal/dna"
+	"github.com/cap-repro/crisprscan/internal/report"
+)
+
+func main() {
+	var (
+		guide   = flag.String("guide", "", "guide spacer (required)")
+		k       = flag.Int("k", 3, "mismatch budget")
+		bulge   = flag.Int("bulge", 0, "bulge budget (edit automaton)")
+		pamStr  = flag.String("pam", "NGG", "PAM pattern")
+		both    = flag.Bool("both-strands", true, "compile both strands")
+		merge   = flag.Bool("merge", false, "apply prefix/suffix state merging")
+		stride2 = flag.Bool("stride2", false, "apply the 2-striding transform")
+		format  = flag.String("format", "stats", "output: stats, anml, json, dot")
+	)
+	flag.Parse()
+	if *guide == "" {
+		fail("missing -guide")
+	}
+	spacer, err := dna.ParsePattern(*guide)
+	if err != nil {
+		fail("%v", err)
+	}
+	pam, err := dna.ParsePattern(*pamStr)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	var n *automata.NFA
+	if *bulge > 0 {
+		n, err = automata.CompileEdit(spacer, automata.EditOptions{
+			MaxMismatches: *k, MaxBulge: *bulge, PAM: pam, Code: 0,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		if *both {
+			minus, err := automata.CompileEdit(spacer.ReverseComplement(), automata.EditOptions{
+				MaxMismatches: *k, MaxBulge: *bulge, PAM: pam.ReverseComplement(),
+				PAMLeft: true, Code: report.CodeFor(0, '-'),
+			})
+			if err != nil {
+				fail("%v", err)
+			}
+			if err := n.Union(minus); err != nil {
+				fail("%v", err)
+			}
+		}
+	} else {
+		specs := core.BuildSpecs([]dna.Pattern{spacer}, pam, *k, !*both)
+		var parts []*automata.NFA
+		for _, spec := range specs {
+			part, err := automata.CompileHamming(spec.Spacer, automata.CompileOptions{
+				MaxMismatches: spec.K, PAM: spec.PAM, PAMLeft: spec.PAMLeft, Code: spec.Code,
+			})
+			if err != nil {
+				fail("%v", err)
+			}
+			parts = append(parts, part)
+		}
+		n, err = automata.UnionAll("anmlview", parts)
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+	_ = arch.PatternSpec{} // keep the arch import for spec types above
+
+	if *merge {
+		var saved int
+		n, saved = automata.MergeEquivalent(n)
+		fmt.Fprintf(os.Stderr, "anmlview: merging removed %d states\n", saved)
+	}
+	if *stride2 {
+		s2, err := automata.Multistride2(n)
+		if err != nil {
+			fail("%v", err)
+		}
+		n = s2
+	}
+
+	switch *format {
+	case "stats":
+		st := n.ComputeStats()
+		fmt.Printf("label:         %s\n", n.Label)
+		fmt.Printf("alphabet:      %d\n", n.Alphabet)
+		fmt.Printf("states (STEs): %d\n", st.States)
+		fmt.Printf("edges:         %d\n", st.Edges)
+		fmt.Printf("start states:  %d\n", st.StartStates)
+		fmt.Printf("report states: %d\n", st.ReportStates)
+		fmt.Printf("max fan-in:    %d\n", st.MaxFanIn)
+		fmt.Printf("max fan-out:   %d\n", st.MaxFanOut)
+		fmt.Printf("avg class:     %.2f\n", st.AvgClassSize)
+	case "anml":
+		doc, err := anml.FromNFA(n, "offtarget")
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := doc.Write(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+	case "json":
+		if err := anml.WriteJSON(os.Stdout, anml.ToJSON(n, "offtarget")); err != nil {
+			fail("%v", err)
+		}
+	case "dot":
+		if err := n.WriteDot(os.Stdout, "offtarget"); err != nil {
+			fail("%v", err)
+		}
+	default:
+		fail("unknown format %q", *format)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "anmlview: "+format+"\n", args...)
+	os.Exit(1)
+}

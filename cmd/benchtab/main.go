@@ -1,0 +1,53 @@
+// Command benchtab regenerates the paper's evaluation tables and
+// figures (the E1..E14 series documented in DESIGN.md/EXPERIMENTS.md).
+//
+// Usage:
+//
+//	benchtab                      # full series at default scale
+//	benchtab -scale test          # quick run (small genome)
+//	benchtab -e 4                 # one experiment
+//	benchtab -e 2 -csv            # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/cap-repro/crisprscan/internal/bench"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "default", "workload scale: "+scaleNames())
+		expID     = flag.String("e", "", "experiment id (1,2,3,4,5,6,7,8,9,10,12); empty = all")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+	sc, ok := bench.Scales[*scaleName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchtab: unknown scale %q (have %s)\n", *scaleName, scaleNames())
+		os.Exit(2)
+	}
+	var err error
+	if *expID == "" {
+		err = bench.RunAll(sc, os.Stdout, *csv)
+	} else {
+		err = bench.Run(*expID, sc, os.Stdout, *csv)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func scaleNames() string {
+	var names []string
+	for name := range bench.Scales {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

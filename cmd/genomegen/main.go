@@ -1,0 +1,150 @@
+// Command genomegen generates deterministic synthetic genomes and guide
+// sets for experiments (the reproduction's substitute for shipping a
+// multi-gigabase reference; see DESIGN.md). It can also plant known
+// off-target sites and emit the ground truth, which is how the
+// correctness experiments verify 100% recall.
+//
+// Usage:
+//
+//	genomegen -len 10000000 -seed 1 -o genome.fa
+//	genomegen -len 1000000 -guides 100 -guides-out guides.txt -o genome.fa
+//	genomegen -len 1000000 -guides 20 -plant 0:1,1:2,3:2 -truth-out truth.tsv ...
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/cap-repro/crisprscan/internal/dna"
+	"github.com/cap-repro/crisprscan/internal/fasta"
+	"github.com/cap-repro/crisprscan/internal/genome"
+)
+
+func main() {
+	var (
+		length    = flag.Int("len", 1_000_000, "chromosome length in bp")
+		chroms    = flag.Int("chroms", 1, "number of chromosomes")
+		gc        = flag.Float64("gc", 0.41, "GC fraction")
+		nRate     = flag.Float64("n-rate", 0, "N runs per Mbp")
+		repeats   = flag.Float64("repeats", 0.05, "repeat coverage fraction")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		out       = flag.String("o", "", "output FASTA path (required)")
+		numGuides = flag.Int("guides", 0, "sample this many guides from the genome")
+		guidesOut = flag.String("guides-out", "", "guide list output path")
+		pamStr    = flag.String("pam", "NGG", "PAM for guide sampling and planting")
+		plant     = flag.String("plant", "", "plant plan 'mism:count,...' per guide (e.g. 0:1,2:3)")
+		truthOut  = flag.String("truth-out", "", "planted ground-truth TSV output path")
+	)
+	flag.Parse()
+	if *out == "" {
+		fail("missing -o")
+	}
+	pam, err := dna.ParsePattern(*pamStr)
+	if err != nil {
+		fail("%v", err)
+	}
+	g := genome.Synthesize(genome.SynthConfig{
+		Seed: *seed, NumChroms: *chroms, ChromLen: *length,
+		GC: *gc, NRunRate: *nRate, RepeatRate: *repeats,
+	})
+
+	var guides []dna.Seq
+	if *numGuides > 0 {
+		guides = genome.SampleGuides(g, *numGuides, 20, pam, *seed+1)
+		if len(guides) < *numGuides {
+			fail("only sampled %d/%d guides; genome too small", len(guides), *numGuides)
+		}
+	}
+
+	if *plant != "" {
+		if len(guides) == 0 {
+			fail("-plant requires -guides")
+		}
+		plan, err := parsePlan(*plant)
+		if err != nil {
+			fail("%v", err)
+		}
+		sites, err := genome.Plant(g, guides, pam, plan, *seed+2)
+		if err != nil {
+			fail("%v", err)
+		}
+		if *truthOut != "" {
+			if err := writeTruth(*truthOut, sites); err != nil {
+				fail("%v", err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "genomegen: planted %d sites\n", len(sites))
+	}
+
+	if err := fasta.WriteFile(*out, g.ToFasta()); err != nil {
+		fail("%v", err)
+	}
+	if *guidesOut != "" && len(guides) > 0 {
+		if err := writeGuides(*guidesOut, guides); err != nil {
+			fail("%v", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "genomegen: wrote %s (%d bp, %d chroms)\n", *out, g.TotalLen(), len(g.Chroms))
+}
+
+func parsePlan(s string) (genome.PlantPlan, error) {
+	plan := genome.PlantPlan{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.Split(part, ":")
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad plan entry %q (want mism:count)", part)
+		}
+		m, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, err
+		}
+		c, err := strconv.Atoi(kv[1])
+		if err != nil {
+			return nil, err
+		}
+		plan[m] = c
+	}
+	return plan, nil
+}
+
+func writeGuides(path string, guides []dna.Seq) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for i, g := range guides {
+		fmt.Fprintf(w, "g%d\t%s\n", i, g)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeTruth(path string, sites []genome.PlantedSite) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "guide\tchrom\tpos\tstrand\tmismatches")
+	for _, s := range sites {
+		fmt.Fprintf(w, "%d\t%s\t%d\t%c\t%d\n", s.Guide, s.Chrom, s.Pos, s.Strand, s.Mismatches)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "genomegen: "+format+"\n", args...)
+	os.Exit(1)
+}

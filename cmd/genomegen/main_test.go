@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/dna"
+	"github.com/cap-repro/crisprscan/internal/genome"
+)
+
+func TestParsePlan(t *testing.T) {
+	plan, err := parsePlan("0:1,2:3,5:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan[0] != 1 || plan[2] != 3 || plan[5] != 2 {
+		t.Errorf("plan = %v", plan)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{"", "0", "0:1:2", "x:1", "1:y"} {
+		if _, err := parsePlan(bad); err == nil {
+			t.Errorf("parsePlan(%q) should fail", bad)
+		}
+	}
+}
+
+func TestWriteGuidesAndTruth(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "guides.txt")
+	guides := []dna.Seq{dna.MustParseSeq("ACGT"), dna.MustParseSeq("TTTT")}
+	if err := writeGuides(gpath, guides); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(gpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "g0\tACGT") || !strings.Contains(string(data), "g1\tTTTT") {
+		t.Errorf("guides file: %q", data)
+	}
+
+	tpath := filepath.Join(dir, "truth.tsv")
+	sites := []genome.PlantedSite{{Guide: 1, Chrom: "chr2", Pos: 99, Strand: '-', Mismatches: 3}}
+	if err := writeTruth(tpath, sites); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "1\tchr2\t99\t-\t3") {
+		t.Errorf("truth file: %q", data)
+	}
+}

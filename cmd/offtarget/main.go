@@ -1,0 +1,207 @@
+// Command offtarget is the end-user search tool: given a FASTA genome
+// and a guide list, it reports every potential off-target site within
+// the mismatch (and optional bulge) budget, on a selectable execution
+// engine.
+//
+// Usage:
+//
+//	offtarget -genome genome.fa -guides guides.txt -k 3
+//	offtarget -genome genome.fa -guide GGGTGGGGGGAGTTTGCTCC -k 4 -pam NRG
+//	offtarget -genome genome.fa -guides guides.txt -k 2 -bulge 1
+//	offtarget -genome genome.fa -guides guides.txt -engine ap -stats
+//
+// The guides file holds one spacer per line, optionally preceded by a
+// name and whitespace; '#' starts a comment.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/cap-repro/crisprscan"
+	"github.com/cap-repro/crisprscan/internal/report"
+)
+
+func main() {
+	var (
+		genomePath = flag.String("genome", "", "reference genome FASTA (required)")
+		guidesPath = flag.String("guides", "", "guide list file (one spacer per line)")
+		guideSeq   = flag.String("guide", "", "single guide spacer (alternative to -guides)")
+		k          = flag.Int("k", 3, "maximum spacer mismatches")
+		bulge      = flag.Int("bulge", 0, "maximum bulges (enables edit-distance search)")
+		pam        = flag.String("pam", "NGG", "PAM pattern (IUPAC)")
+		altPAM     = flag.String("alt-pam", "", "comma-separated additional PAMs (e.g. NAG)")
+		engineName = flag.String("engine", string(crisprscan.EngineHyperscan), "execution engine")
+		plusOnly   = flag.Bool("plus-only", false, "search the plus strand only")
+		workers    = flag.Int("workers", 1, "data-parallel width for CPU engines")
+		stats      = flag.Bool("stats", false, "print execution statistics to stderr")
+		stream     = flag.Bool("stream", false, "stream the genome chromosome-by-chromosome (constant memory)")
+		bed        = flag.Bool("bed", false, "emit BED6 instead of TSV")
+		summary    = flag.Bool("summary", false, "print a per-guide specificity summary to stderr")
+		region     = flag.String("region", "", "restrict to 'chrom' or 'chrom:start-end' (0-based half-open)")
+		outPath    = flag.String("o", "", "output TSV path (default stdout)")
+	)
+	flag.Parse()
+
+	if *genomePath == "" {
+		fail("missing -genome")
+	}
+	guides, err := loadGuides(*guidesPath, *guideSeq)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	var alts []string
+	if *altPAM != "" {
+		alts = strings.Split(*altPAM, ",")
+	}
+	params := crisprscan.Params{
+		MaxMismatches: *k, PAM: *pam, AltPAMs: alts, Region: *region, PlusStrandOnly: *plusOnly,
+		Engine: crisprscan.Engine(*engineName), Workers: *workers,
+	}
+
+	if *stream {
+		if *bulge > 0 {
+			fail("-stream does not support -bulge")
+		}
+		f, err := os.Open(*genomePath)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		count := 0
+		var sites []crisprscan.Site
+		st, err := crisprscan.SearchStream(f, guides, params, func(s crisprscan.Site) error {
+			count++
+			sites = append(sites, s)
+			return nil
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := writeSites(w, sites, *bed); err != nil {
+			fail("%v", err)
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "offtarget: engine=%s sites=%d events=%d elapsed=%.3fs (streamed)\n",
+				st.Engine, count, st.Events, st.ElapsedSec)
+		}
+		return
+	}
+
+	g, err := crisprscan.LoadGenome(*genomePath)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if *bulge > 0 {
+		sites, err := crisprscan.SearchBulge(g, guides, crisprscan.BulgeParams{
+			MaxMismatches: *k, MaxBulge: *bulge, PAM: *pam, PlusStrandOnly: *plusOnly,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintln(w, "guide\tchrom\tpos\tlen\tstrand\tmismatches\tbulges\tsite")
+		for _, s := range sites {
+			fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%c\t%d\t%d\t%s\n",
+				s.Guide, s.Chrom, s.Pos, s.Len, s.Strand, s.Mismatches, s.Bulges, s.SiteSeq)
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "offtarget: %d bulge-tolerant sites\n", len(sites))
+		}
+		return
+	}
+
+	res, err := crisprscan.Search(g, guides, params)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := writeSites(w, res.Sites, *bed); err != nil {
+		fail("%v", err)
+	}
+	if *summary {
+		if err := report.WriteSummary(os.Stderr, report.Summarize(res.Sites, len(guides)), *k); err != nil {
+			fail("%v", err)
+		}
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "offtarget: engine=%s sites=%d events=%d elapsed=%.3fs\n",
+			res.Stats.Engine, len(res.Sites), res.Stats.Events, res.Stats.ElapsedSec)
+		if res.Stats.Modeled != nil {
+			fmt.Fprintf(os.Stderr, "offtarget: modeled device time: %s\n", res.Stats.Modeled)
+		}
+		if res.Stats.Resources != nil {
+			r := res.Stats.Resources
+			fmt.Fprintf(os.Stderr, "offtarget: device resources: states=%d passes=%d util=%.1f%%\n",
+				r.States, r.Passes, r.Utilization()*100)
+		}
+	}
+}
+
+// loadGuides reads guides from a file, a literal flag, or both.
+func loadGuides(path, literal string) ([]crisprscan.Guide, error) {
+	var guides []crisprscan.Guide
+	if literal != "" {
+		guides = append(guides, crisprscan.Guide{Name: "guide", Spacer: literal})
+	}
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			fields := strings.Fields(line)
+			switch len(fields) {
+			case 1:
+				guides = append(guides, crisprscan.Guide{Name: fmt.Sprintf("g%d", len(guides)), Spacer: fields[0]})
+			case 2:
+				guides = append(guides, crisprscan.Guide{Name: fields[0], Spacer: fields[1]})
+			default:
+				return nil, fmt.Errorf("%s:%d: expected 'spacer' or 'name spacer'", path, lineNo)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if len(guides) == 0 {
+		return nil, fmt.Errorf("no guides given (use -guides or -guide)")
+	}
+	return guides, nil
+}
+
+// writeSites emits sites in TSV or BED form.
+func writeSites(w *bufio.Writer, sites []crisprscan.Site, bed bool) error {
+	if bed {
+		return crisprscan.WriteSitesBED(w, sites)
+	}
+	return crisprscan.WriteSitesTSV(w, sites)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "offtarget: "+format+"\n", args...)
+	os.Exit(1)
+}

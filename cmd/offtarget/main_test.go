@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "guides.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadGuidesFile(t *testing.T) {
+	path := writeTemp(t, "# comment\nACGTACGT\n\ng1\tTTTTGGGG\nnamed CCCCAAAA\n")
+	guides, err := loadGuides(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(guides) != 3 {
+		t.Fatalf("got %d guides, want 3", len(guides))
+	}
+	if guides[0].Spacer != "ACGTACGT" || guides[0].Name != "g0" {
+		t.Errorf("guide 0 = %+v", guides[0])
+	}
+	if guides[1].Name != "g1" || guides[1].Spacer != "TTTTGGGG" {
+		t.Errorf("guide 1 = %+v", guides[1])
+	}
+	if guides[2].Name != "named" {
+		t.Errorf("guide 2 = %+v", guides[2])
+	}
+}
+
+func TestLoadGuidesLiteralAndCombined(t *testing.T) {
+	guides, err := loadGuides("", "ACGT")
+	if err != nil || len(guides) != 1 || guides[0].Spacer != "ACGT" {
+		t.Fatalf("literal: %+v, %v", guides, err)
+	}
+	path := writeTemp(t, "TTTT\n")
+	guides, err = loadGuides(path, "ACGT")
+	if err != nil || len(guides) != 2 {
+		t.Fatalf("combined: %+v, %v", guides, err)
+	}
+}
+
+func TestLoadGuidesErrors(t *testing.T) {
+	if _, err := loadGuides("", ""); err == nil {
+		t.Error("no guides must error")
+	}
+	if _, err := loadGuides(filepath.Join(t.TempDir(), "missing"), ""); err == nil {
+		t.Error("missing file must error")
+	}
+	bad := writeTemp(t, "a b c d\n")
+	if _, err := loadGuides(bad, ""); err == nil {
+		t.Error("malformed line must error")
+	}
+}

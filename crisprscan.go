@@ -1,0 +1,268 @@
+// Package crisprscan finds potential CRISPR/Cas9 gRNA off-target sites
+// in a reference genome using automata processing, reproducing the
+// system of Bo, Dang, Sadredini & Skadron, "Searching for Potential
+// gRNA Off-Target Sites for CRISPR/Cas9 Using Automata Processing
+// Across Different Platforms" (HPCA 2018).
+//
+// The search compiles each guide into a Hamming-lattice nondeterministic
+// finite automaton (protospacer with up to K mismatches, followed by an
+// exactly matched PAM, both strands) and executes it on a selectable
+// platform: measured CPU engines (the HyperScan-class bit-parallel
+// engine and the Cas-OFFinder/CasOT baselines) or modeled accelerators
+// (Micron AP, FPGA overlay, iNFAnt2-style GPU). All engines return the
+// identical site set; they differ only in performance.
+//
+// Quick start:
+//
+//	g, _ := crisprscan.LoadGenome("genome.fa")
+//	guides := []crisprscan.Guide{{Name: "g1", Spacer: "GGGTGGGGGGAGTTTGCTCC"}}
+//	res, _ := crisprscan.Search(g, guides, crisprscan.Params{MaxMismatches: 3})
+//	for _, site := range res.Sites {
+//		fmt.Println(site.Chrom, site.Pos, site.Strand, site.Mismatches)
+//	}
+package crisprscan
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/cap-repro/crisprscan/internal/core"
+	"github.com/cap-repro/crisprscan/internal/dna"
+	"github.com/cap-repro/crisprscan/internal/fasta"
+	"github.com/cap-repro/crisprscan/internal/genome"
+	"github.com/cap-repro/crisprscan/internal/report"
+)
+
+// Genome is a loaded reference genome.
+type Genome = genome.Genome
+
+// Site is one resolved off-target site; see the fields' documentation
+// in the report package.
+type Site = report.Site
+
+// BulgeSite is one bulge-tolerant site.
+type BulgeSite = core.BulgeSite
+
+// Stats describes a search execution (wall-clock, event counts and, for
+// modeled accelerator platforms, the device-time breakdown).
+type Stats = core.Stats
+
+// Engine selects the execution platform.
+type Engine = core.EngineKind
+
+// The available engines: the paper's six systems plus variants.
+const (
+	// EngineHyperscan is the measured CPU automata engine (default),
+	// using the literal-prefilter hybrid path.
+	EngineHyperscan = core.EngineHyperscan
+	// EngineHyperscanBitap / EngineHyperscanNFA / EngineHyperscanDFA
+	// select its pure-bitap, bitset-NFA and table-DFA execution paths.
+	EngineHyperscanBitap = core.EngineHyperscanBitap
+	EngineHyperscanNFA   = core.EngineHyperscanNFA
+	EngineHyperscanDFA   = core.EngineHyperscanDFA
+	// EngineCasOffinder is the brute-force baseline (measured, CPU);
+	// EngineCasOffinderGPU adds the analytic GPU timing model.
+	EngineCasOffinder    = core.EngineCasOffinder
+	EngineCasOffinderGPU = core.EngineCasOffinderGPU
+	// EngineCasOT is the single-thread seed-region baseline;
+	// EngineCasOTIndex its seed-index variant.
+	EngineCasOT      = core.EngineCasOT
+	EngineCasOTIndex = core.EngineCasOTIndex
+	// EngineAP, EngineFPGA and EngineInfant are the modeled
+	// accelerator platforms.
+	EngineAP     = core.EngineAP
+	EngineFPGA   = core.EngineFPGA
+	EngineInfant = core.EngineInfant
+)
+
+// Guide is one gRNA: a protospacer sequence (typically 20 nt, 5'→3',
+// PAM-adjacent end last). IUPAC N is allowed (it matches anything and
+// never counts as a mismatch).
+type Guide struct {
+	Name   string
+	Spacer string
+}
+
+// Params configures Search. The zero value searches both strands for
+// NGG sites with zero mismatches on the default CPU engine.
+type Params struct {
+	// MaxMismatches is the protospacer Hamming budget (paper: 1-5).
+	MaxMismatches int
+	// PAM is the IUPAC PAM pattern (default "NGG"; "NRG" and "NAG" are
+	// common alternatives).
+	PAM string
+	// AltPAMs lists additional accepted PAMs of the same length, so one
+	// search can cover NGG and NAG sites simultaneously.
+	AltPAMs []string
+	// PAM5 selects Cas12a/Cpf1 geometry: the PAM sits 5' of the spacer
+	// (e.g. PAM "TTTV"). Default is Cas9's 3' PAM.
+	PAM5 bool
+	// Region restricts the search to "chrom" or "chrom:start-end"
+	// (0-based half-open); positions stay in chromosome coordinates.
+	Region string
+	// PlusStrandOnly disables minus-strand search.
+	PlusStrandOnly bool
+	// Engine selects the platform (default EngineHyperscan).
+	Engine Engine
+	// Workers widens data-parallel engines (default 1).
+	Workers int
+	// SeedLen and MaxSeedMismatches enable CasOT's seed-region
+	// constraint (both zero = unconstrained; then all engines agree).
+	SeedLen           int
+	MaxSeedMismatches int
+	// MergeStates and Stride2 toggle the spatial-platform optimizations
+	// the paper proposes.
+	MergeStates bool
+	Stride2     bool
+}
+
+// Result is a completed search: verified sites plus execution stats.
+type Result struct {
+	Sites []Site
+	Stats Stats
+}
+
+// LoadGenome reads a (multi-)FASTA reference genome from a file.
+func LoadGenome(path string) (*Genome, error) { return genome.LoadFasta(path) }
+
+// ReadGenome reads FASTA from a stream.
+func ReadGenome(r io.Reader) (*Genome, error) {
+	recs, err := fasta.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return genome.FromFasta(recs)
+}
+
+// SynthConfig re-exports the synthetic-genome generator configuration.
+type SynthConfig = genome.SynthConfig
+
+// SynthesizeGenome generates a deterministic random genome, the
+// substitute for distributing a multi-gigabase reference (DESIGN.md).
+func SynthesizeGenome(cfg SynthConfig) *Genome { return genome.Synthesize(cfg) }
+
+// SampleGuides extracts n spacers of the given length that occur in the
+// genome immediately 5' of a PAM site — the way real gRNAs are designed
+// against on-target loci. It returns an error if the genome is too
+// small to supply n guides.
+func SampleGuides(g *Genome, n, spacerLen int, pamStr string, seed int64) ([]Guide, error) {
+	pam, err := dna.ParsePattern(pamStr)
+	if err != nil {
+		return nil, err
+	}
+	raw := genome.SampleGuides(g, n, spacerLen, pam, seed)
+	if len(raw) < n {
+		return nil, fmt.Errorf("crisprscan: only %d/%d guides could be sampled", len(raw), n)
+	}
+	guides := make([]Guide, n)
+	for i, r := range raw {
+		guides[i] = Guide{Name: fmt.Sprintf("g%d", i), Spacer: r.String()}
+	}
+	return guides, nil
+}
+
+// parseGuides validates and converts guides.
+func parseGuides(guides []Guide) ([]dna.Pattern, error) {
+	if len(guides) == 0 {
+		return nil, fmt.Errorf("crisprscan: no guides")
+	}
+	pats := make([]dna.Pattern, len(guides))
+	for i, g := range guides {
+		p, err := dna.ParsePattern(g.Spacer)
+		if err != nil {
+			return nil, fmt.Errorf("crisprscan: guide %q: %w", g.Name, err)
+		}
+		if len(p) != len(pats[0]) && i > 0 {
+			return nil, fmt.Errorf("crisprscan: guide %q length %d differs from guide 0 (%d)", g.Name, len(p), len(pats[0]))
+		}
+		pats[i] = p
+	}
+	return pats, nil
+}
+
+// Search finds every genomic site matching any guide within the
+// mismatch budget, PAM-adjacent, on the selected engine. Sites are
+// verified against the sequence, deduplicated and sorted.
+func Search(g *Genome, guides []Guide, p Params) (*Result, error) {
+	pats, err := parseGuides(guides)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Search(g, pats, core.Params{
+		MaxMismatches:     p.MaxMismatches,
+		PAM:               p.PAM,
+		AltPAMs:           p.AltPAMs,
+		PAM5:              p.PAM5,
+		Region:            p.Region,
+		PlusStrandOnly:    p.PlusStrandOnly,
+		Engine:            p.Engine,
+		Workers:           p.Workers,
+		SeedLen:           p.SeedLen,
+		MaxSeedMismatches: p.MaxSeedMismatches,
+		MergeStates:       p.MergeStates,
+		Stride2:           p.Stride2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Sites: res.Sites, Stats: res.Stats}, nil
+}
+
+// BulgeParams configures SearchBulge.
+type BulgeParams struct {
+	// MaxMismatches is the substitution budget.
+	MaxMismatches int
+	// MaxBulge is the combined budget for DNA bulges (extra genome
+	// bases) and RNA bulges (skipped spacer positions), interior only.
+	MaxBulge int
+	// PAM defaults to NGG.
+	PAM            string
+	PlusStrandOnly bool
+}
+
+// SearchBulge finds bulge-tolerant off-target sites using the
+// edit-distance automata (the paper's extension experiment). It always
+// runs on the automata simulation engine.
+func SearchBulge(g *Genome, guides []Guide, p BulgeParams) ([]BulgeSite, error) {
+	pats, err := parseGuides(guides)
+	if err != nil {
+		return nil, err
+	}
+	return core.SearchBulge(g, pats, core.BulgeParams{
+		MaxMismatches:  p.MaxMismatches,
+		MaxBulge:       p.MaxBulge,
+		PAM:            p.PAM,
+		PlusStrandOnly: p.PlusStrandOnly,
+	})
+}
+
+// WriteSitesTSV writes sites in a Cas-OFFinder-like TSV layout.
+func WriteSitesTSV(w io.Writer, sites []Site) error { return report.WriteTSV(w, sites) }
+
+// WriteSitesBED writes sites as BED6 intervals.
+func WriteSitesBED(w io.Writer, sites []Site) error { return report.WriteBED(w, sites) }
+
+// SearchStream scans a FASTA stream one chromosome at a time, keeping
+// memory proportional to the largest chromosome — the mode a full
+// 3.1 Gbp reference requires. Verified sites are delivered to yield as
+// each chromosome completes; returning an error from yield aborts the
+// scan.
+func SearchStream(r io.Reader, guides []Guide, p Params, yield func(Site) error) (*Stats, error) {
+	pats, err := parseGuides(guides)
+	if err != nil {
+		return nil, err
+	}
+	return core.SearchStream(r, pats, core.Params{
+		MaxMismatches:     p.MaxMismatches,
+		PAM:               p.PAM,
+		AltPAMs:           p.AltPAMs,
+		PAM5:              p.PAM5,
+		PlusStrandOnly:    p.PlusStrandOnly,
+		Engine:            p.Engine,
+		Workers:           p.Workers,
+		SeedLen:           p.SeedLen,
+		MaxSeedMismatches: p.MaxSeedMismatches,
+		MergeStates:       p.MergeStates,
+		Stride2:           p.Stride2,
+	}, yield)
+}

@@ -1,0 +1,151 @@
+package crisprscan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPublicAPISearch(t *testing.T) {
+	g := SynthesizeGenome(SynthConfig{Seed: 301, ChromLen: 100000})
+	guides := []Guide{
+		{Name: "g0", Spacer: "ACGTACGTACGTACGTACGT"},
+		{Name: "g1", Spacer: "TTTTGGGGCCCCAAAATTTT"},
+	}
+	res, err := Search(g, guides, Params{MaxMismatches: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Sites {
+		if s.Mismatches > 4 {
+			t.Errorf("site exceeds budget: %+v", s)
+		}
+		if s.Strand != '+' && s.Strand != '-' {
+			t.Errorf("bad strand: %+v", s)
+		}
+	}
+	if res.Stats.Engine == "" || res.Stats.ElapsedSec <= 0 {
+		t.Errorf("stats incomplete: %+v", res.Stats)
+	}
+}
+
+func TestPublicAPIGuideValidation(t *testing.T) {
+	g := SynthesizeGenome(SynthConfig{Seed: 302, ChromLen: 10000})
+	if _, err := Search(g, nil, Params{}); err == nil {
+		t.Error("no guides must error")
+	}
+	if _, err := Search(g, []Guide{{Spacer: "ACGT!"}}, Params{}); err == nil {
+		t.Error("invalid spacer must error")
+	}
+	ragged := []Guide{{Spacer: "ACGTACGTACGTACGTACGT"}, {Spacer: "ACGT"}}
+	if _, err := Search(g, ragged, Params{}); err == nil {
+		t.Error("ragged guides must error")
+	}
+}
+
+func TestPublicAPIEngineSelection(t *testing.T) {
+	g := SynthesizeGenome(SynthConfig{Seed: 303, ChromLen: 60000})
+	guides := []Guide{{Name: "g", Spacer: "ACGTACGTACGTACGTACGT"}}
+	base, err := Search(g, guides, Params{MaxMismatches: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []Engine{EngineCasOffinder, EngineCasOT, EngineAP, EngineFPGA} {
+		res, err := Search(g, guides, Params{MaxMismatches: 4, Engine: e})
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		if len(res.Sites) != len(base.Sites) {
+			t.Errorf("%s: %d sites vs %d", e, len(res.Sites), len(base.Sites))
+		}
+	}
+	ap, _ := Search(g, guides, Params{MaxMismatches: 2, Engine: EngineAP})
+	if ap.Stats.Modeled == nil {
+		t.Error("AP stats must include a device-time breakdown")
+	}
+}
+
+func TestPublicAPIBulge(t *testing.T) {
+	g := SynthesizeGenome(SynthConfig{Seed: 304, ChromLen: 30000})
+	guides := []Guide{{Name: "g", Spacer: "ACGTACGTACGTACGTACGT"}}
+	sites, err := SearchBulge(g, guides, BulgeParams{MaxMismatches: 1, MaxBulge: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sites {
+		if s.Bulges > 1 || s.Mismatches > 1 {
+			t.Errorf("budget exceeded: %+v", s)
+		}
+	}
+}
+
+func TestReadGenomeAndTSV(t *testing.T) {
+	g, err := ReadGenome(strings.NewReader(">c1\nACGTACGTAAGGACGT\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalLen() != 16 {
+		t.Fatalf("TotalLen = %d", g.TotalLen())
+	}
+	guides := []Guide{{Name: "g", Spacer: "ACGTACGTA"}}
+	res, err := Search(g, guides, Params{MaxMismatches: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSitesTSV(&buf, res.Sites); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "guide\tchrom") {
+		t.Error("TSV header missing")
+	}
+}
+
+func TestLeadingNGuide(t *testing.T) {
+	// Guides with 5' N (G-prepended synthesis) are legal and the N
+	// matches anything.
+	g, err := ReadGenome(strings.NewReader(">c1\nTTTTACGTACGTAAGGTTTT\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(g, []Guide{{Name: "n", Spacer: "NCGTACGTA"}}, Params{MaxMismatches: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) != 1 || res.Sites[0].Pos != 4 {
+		t.Fatalf("sites = %+v", res.Sites)
+	}
+}
+
+func TestPublicAPICas12aAndStream(t *testing.T) {
+	in := ">c1\nTTTAGACGCATAAAGATGAGACGCATATTTT\n"
+	g, err := ReadGenome(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	guides := []Guide{{Name: "cas12a", Spacer: "GACGCATAAAGATGAGACGCATA"}}
+	res, err := Search(g, guides, Params{MaxMismatches: 0, PAM: "TTTV", PAM5: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) != 1 || res.Sites[0].Pos != 0 {
+		t.Fatalf("Cas12a site not found: %+v", res.Sites)
+	}
+	// Streaming path returns the same site.
+	var streamed []Site
+	if _, err := SearchStream(strings.NewReader(in), guides,
+		Params{MaxMismatches: 0, PAM: "TTTV", PAM5: true},
+		func(s Site) error { streamed = append(streamed, s); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != 1 || streamed[0] != res.Sites[0] {
+		t.Fatalf("streamed sites differ: %+v", streamed)
+	}
+	var bed bytes.Buffer
+	if err := WriteSitesBED(&bed, res.Sites); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bed.String(), "c1\t0\t27\tguide0\t1000\t+") {
+		t.Errorf("BED output: %q", bed.String())
+	}
+}

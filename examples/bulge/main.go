@@ -1,0 +1,67 @@
+// Bulge-tolerant search: the edit-distance automata extension. A guide
+// is searched against a genome into which a DNA-bulge variant (one
+// extra genomic base inside the protospacer) and an RNA-bulge variant
+// (one protospacer base missing from the genome) have been planted —
+// sites a mismatch-only search cannot see at k=0.
+//
+//	go run ./examples/bulge
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/cap-repro/crisprscan"
+	"github.com/cap-repro/crisprscan/internal/dna"
+)
+
+func main() {
+	const spacer = "GACGCATAAAGATGAGACGC"
+
+	// Hand-build a small genome with the two bulge variants.
+	guide := dna.MustParseSeq(spacer)
+	deletion := append(append(dna.Seq{}, guide[:10]...), guide[11:]...) // RNA bulge
+	insertion := append(append(dna.Seq{}, guide[:10]...), dna.T)        // DNA bulge
+	insertion = append(insertion, guide[10:]...)
+
+	var sb strings.Builder
+	filler := strings.Repeat("TCTCAATCAA", 30)
+	sb.WriteString(filler)
+	sb.WriteString(deletion.String() + "AGG")
+	sb.WriteString(filler)
+	sb.WriteString(insertion.String() + "TGG")
+	sb.WriteString(filler)
+	g, err := crisprscan.ReadGenome(strings.NewReader(">chrDemo\n" + sb.String() + "\n"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	guides := []crisprscan.Guide{{Name: "demo", Spacer: spacer}}
+
+	// Mismatch-only search at k=0 sees nothing.
+	plain, err := crisprscan.Search(g, guides, crisprscan.Params{MaxMismatches: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mismatch-only search (k=0): %d sites\n", len(plain.Sites))
+
+	// The edit automaton with one bulge finds both variants.
+	sites, err := crisprscan.SearchBulge(g, guides, crisprscan.BulgeParams{
+		MaxMismatches: 0,
+		MaxBulge:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bulge-tolerant search (k=0, bulge<=1): %d sites\n\n", len(sites))
+	for _, s := range sites {
+		kind := "DNA bulge (extra genomic base)"
+		if s.Len < len(spacer)+3 {
+			kind = "RNA bulge (skipped spacer base)"
+		}
+		fmt.Printf("  %s:%d %c len=%d mism=%d bulges=%d  %s\n    %s\n",
+			s.Chrom, s.Pos, s.Strand, s.Len, s.Mismatches, s.Bulges, kind, s.SiteSeq)
+	}
+	fmt.Println("\nguide:", spacer)
+}

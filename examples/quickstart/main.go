@@ -1,0 +1,40 @@
+// Quickstart: search a small genome for one guide's off-target sites.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/cap-repro/crisprscan"
+)
+
+func main() {
+	// A deterministic 1 Mbp synthetic genome stands in for a reference
+	// FASTA (crisprscan.LoadGenome loads real ones). The repeat
+	// structure the generator plants is what produces off-target hits.
+	g := crisprscan.SynthesizeGenome(crisprscan.SynthConfig{Seed: 1, ChromLen: 1_000_000, RepeatRate: 0.2})
+
+	// Design a guide against an actual genomic locus (20 nt + NGG), as
+	// one would with a real genome.
+	guides, err := crisprscan.SampleGuides(g, 1, 20, "NGG", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := crisprscan.Search(g, guides, crisprscan.Params{
+		MaxMismatches: 4, // up to 4 spacer mismatches
+		PAM:           "NGG",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("engine %s scanned %d bp in %.3f s and found %d sites:\n\n",
+		res.Stats.Engine, g.TotalLen(), res.Stats.ElapsedSec, len(res.Sites))
+	if err := crisprscan.WriteSitesTSV(os.Stdout, res.Sites); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/cap-repro/crisprscan
+
+go 1.22

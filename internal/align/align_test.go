@@ -1,0 +1,164 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/cap-repro/crisprscan/internal/dna"
+)
+
+func pat(s string) dna.Pattern { return dna.MustParsePattern(s) }
+func seq(s string) dna.Seq     { return dna.MustParseSeq(s) }
+
+func TestEditExactMatch(t *testing.T) {
+	subs, ok := Edit(pat("ACGTACGT"), seq("ACGTACGT"), 0, 0)
+	if !ok || subs != 0 {
+		t.Errorf("exact match: subs=%d ok=%v", subs, ok)
+	}
+}
+
+func TestEditSubstitutions(t *testing.T) {
+	subs, ok := Edit(pat("ACGTACGT"), seq("ACGTACGA"), 1, 0)
+	if !ok || subs != 1 {
+		t.Errorf("one substitution: subs=%d ok=%v", subs, ok)
+	}
+	if _, ok := Edit(pat("ACGTACGT"), seq("TCGTACGA"), 1, 0); ok {
+		t.Error("two substitutions must exceed budget 1")
+	}
+}
+
+func TestEditInteriorDeletion(t *testing.T) {
+	// Delete spacer position 4 (interior).
+	subs, ok := Edit(pat("ACGTACGT"), seq("ACGTCGT"), 0, 1)
+	if !ok || subs != 0 {
+		t.Errorf("interior deletion: subs=%d ok=%v", subs, ok)
+	}
+	if _, ok := Edit(pat("ACGTACGT"), seq("ACGTCGT"), 0, 0); ok {
+		t.Error("deletion needs a gap budget")
+	}
+}
+
+func TestEditInteriorInsertion(t *testing.T) {
+	subs, ok := Edit(pat("ACGTACGT"), seq("ACGTTACGT"), 0, 1)
+	if !ok || subs != 0 {
+		t.Errorf("interior insertion: subs=%d ok=%v", subs, ok)
+	}
+}
+
+func TestEditRejectsEdgeGaps(t *testing.T) {
+	// Deleting the first or last spacer base is an edge gap: forbidden.
+	if _, ok := Edit(pat("ACGTACGT"), seq("CGTACGT"), 0, 1); ok {
+		t.Error("leading deletion must be rejected")
+	}
+	if _, ok := Edit(pat("ACGTACGT"), seq("ACGTACG"), 0, 1); ok {
+		t.Error("trailing deletion must be rejected")
+	}
+	// Inserting before the first or after the last consumed base too.
+	if _, ok := Edit(pat("ACGT"), seq("TACGT"), 0, 1); ok {
+		t.Error("leading insertion must be rejected")
+	}
+	if _, ok := Edit(pat("ACGT"), seq("ACGTC"), 0, 1); ok {
+		t.Error("trailing insertion must be rejected")
+	}
+	// "ACGTT" is alignable: the extra T sits interior (between the
+	// consumed G and the final consumed T).
+	if _, ok := Edit(pat("ACGT"), seq("ACGTT"), 0, 1); !ok {
+		t.Error("interior insertion equal to the final base must align")
+	}
+}
+
+func TestEditLengthBound(t *testing.T) {
+	if _, ok := Edit(pat("ACGT"), seq("ACGTACGT"), 4, 1); ok {
+		t.Error("length difference beyond the gap budget must fail fast")
+	}
+}
+
+func TestEditDegeneratePositions(t *testing.T) {
+	subs, ok := Edit(pat("NCGT"), seq("TCGT"), 0, 0)
+	if !ok || subs != 0 {
+		t.Errorf("N never mismatches: subs=%d ok=%v", subs, ok)
+	}
+}
+
+func TestEditWithGapsPrefersFewerGaps(t *testing.T) {
+	// Segment equals the spacer: feasible with 0 gaps even though 2
+	// gaps could also explain it.
+	subs, gaps, ok := EditWithGaps(pat("ACGTACGT"), seq("ACGTACGT"), 2, 2)
+	if !ok || gaps != 0 || subs != 0 {
+		t.Errorf("got subs=%d gaps=%d ok=%v", subs, gaps, ok)
+	}
+	// A deletion variant needs exactly one gap.
+	_, gaps, ok = EditWithGaps(pat("ACGTACGT"), seq("ACGTCGT"), 0, 2)
+	if !ok || gaps != 1 {
+		t.Errorf("deletion variant: gaps=%d ok=%v", gaps, ok)
+	}
+}
+
+func TestHamming(t *testing.T) {
+	if n, ok := Hamming(pat("ACGT"), seq("ACGA"), 1); !ok || n != 1 {
+		t.Errorf("n=%d ok=%v", n, ok)
+	}
+	if _, ok := Hamming(pat("ACGT"), seq("TCGA"), 1); ok {
+		t.Error("budget exceeded must fail")
+	}
+	if _, ok := Hamming(pat("ACGT"), seq("ACG"), 4); ok {
+		t.Error("length mismatch must fail")
+	}
+}
+
+// TestEditZeroGapEqualsHamming: with maxGaps=0 the edit alignment is
+// plain Hamming distance.
+func TestEditZeroGapEqualsHamming(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	f := func(a, b uint64) bool {
+		m := 4 + int(a%8)
+		spacer := make(dna.Seq, m)
+		segment := make(dna.Seq, m)
+		for i := 0; i < m; i++ {
+			spacer[i] = dna.Base((a >> (2 * uint(i))) & 3)
+			segment[i] = dna.Base((b >> (2 * uint(i))) & 3)
+		}
+		p := dna.PatternFromSeq(spacer)
+		eSubs, eOK := Edit(p, segment, m, 0)
+		hSubs, hOK := Hamming(p, segment, m)
+		return eOK == hOK && eSubs == hSubs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEditMonotoneInBudgets: feasibility is monotone in both budgets.
+func TestEditMonotoneInBudgets(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	for trial := 0; trial < 100; trial++ {
+		m := 5 + rng.Intn(5)
+		L := m - 1 + rng.Intn(3)
+		spacer := make(dna.Seq, m)
+		segment := make(dna.Seq, L)
+		for i := range spacer {
+			spacer[i] = dna.Base(rng.Intn(4))
+		}
+		for i := range segment {
+			segment[i] = dna.Base(rng.Intn(4))
+		}
+		p := dna.PatternFromSeq(spacer)
+		prev := false
+		for k := 0; k <= m; k++ {
+			_, ok := Edit(p, segment, k, 2)
+			if prev && !ok {
+				t.Fatalf("feasibility must be monotone in k (trial %d, k=%d)", trial, k)
+			}
+			prev = prev || ok
+		}
+		prev = false
+		for b := 0; b <= 3; b++ {
+			_, ok := Edit(p, segment, 2, b)
+			if prev && !ok {
+				t.Fatalf("feasibility must be monotone in gaps (trial %d, b=%d)", trial, b)
+			}
+			prev = prev || ok
+		}
+	}
+}

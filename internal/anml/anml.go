@@ -1,0 +1,187 @@
+// Package anml serializes automata networks to ANML, the Automata
+// Network Markup Language used by Micron's AP SDK, and back. The paper's
+// AP implementation is expressed in ANML; exporting our automata in the
+// same format makes the mapping onto AP STEs explicit and lets the
+// networks be inspected with existing automata tooling. A compact
+// MNRL-style JSON encoding is also provided (see json.go).
+//
+// Only stride-1 (4-letter) automata are exported: ANML symbol sets are
+// 8-bit character classes, and we encode base classes as sets over the
+// letters A, C, G, T.
+package anml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/cap-repro/crisprscan/internal/automata"
+	"github.com/cap-repro/crisprscan/internal/dna"
+)
+
+// Document is the root <anml> element.
+type Document struct {
+	XMLName xml.Name `xml:"anml"`
+	Version string   `xml:"version,attr"`
+	Network Network  `xml:"automata-network"`
+}
+
+// Network is an <automata-network>.
+type Network struct {
+	ID   string `xml:"id,attr"`
+	Name string `xml:"name,attr,omitempty"`
+	STEs []STE  `xml:"state-transition-element"`
+}
+
+// STE is one <state-transition-element>.
+type STE struct {
+	ID        string     `xml:"id,attr"`
+	SymbolSet string     `xml:"symbol-set,attr"`
+	Start     string     `xml:"start,attr,omitempty"`
+	Reports   []Report   `xml:"report-on-match"`
+	Activates []Activate `xml:"activate-on-match"`
+}
+
+// Report is a <report-on-match> child.
+type Report struct {
+	Code int32 `xml:"reportcode,attr"`
+}
+
+// Activate is an <activate-on-match> child.
+type Activate struct {
+	Element string `xml:"element,attr"`
+}
+
+// FromNFA converts a stride-1 homogeneous NFA into an ANML document.
+// ReportMid codes cannot be represented in ANML and cause an error.
+func FromNFA(n *automata.NFA, networkID string) (*Document, error) {
+	if n.Alphabet != dna.AlphabetSize {
+		return nil, fmt.Errorf("anml: only stride-1 automata can be exported (alphabet %d)", n.Alphabet)
+	}
+	net := Network{ID: networkID, Name: n.Label}
+	for i := range n.States {
+		s := &n.States[i]
+		if s.ReportMid != automata.NoReport {
+			return nil, fmt.Errorf("anml: state %d has a mid-symbol report, not representable", i)
+		}
+		ste := STE{
+			ID:        steID(i),
+			SymbolSet: symbolSet(s.Class),
+		}
+		switch s.Start {
+		case automata.AllInput:
+			ste.Start = "all-input"
+		case automata.StartOfData:
+			ste.Start = "start-of-data"
+		}
+		if s.Report != automata.NoReport {
+			ste.Reports = []Report{{Code: s.Report}}
+		}
+		for _, v := range s.Out {
+			ste.Activates = append(ste.Activates, Activate{Element: steID(int(v))})
+		}
+		sort.Slice(ste.Activates, func(a, b int) bool { return ste.Activates[a].Element < ste.Activates[b].Element })
+		net.STEs = append(net.STEs, ste)
+	}
+	return &Document{Version: "1.0", Network: net}, nil
+}
+
+func steID(i int) string { return fmt.Sprintf("ste%d", i) }
+
+// symbolSet renders a base class as an ANML character set, e.g. [AG].
+func symbolSet(c automata.Class) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for b := dna.A; b <= dna.T; b++ {
+		if c.HasSym(uint8(b)) {
+			sb.WriteByte(b.Char())
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// parseSymbolSet inverts symbolSet.
+func parseSymbolSet(s string) (automata.Class, error) {
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, fmt.Errorf("anml: malformed symbol set %q", s)
+	}
+	var c automata.Class
+	for _, ch := range []byte(s[1 : len(s)-1]) {
+		b := dna.BaseFromChar(ch)
+		if b == dna.BadBase {
+			return 0, fmt.Errorf("anml: symbol %q outside the DNA alphabet in %q", ch, s)
+		}
+		c |= 1 << b
+	}
+	return c, nil
+}
+
+// ToNFA converts a parsed ANML document back into an NFA.
+func (d *Document) ToNFA() (*automata.NFA, error) {
+	n := automata.New(dna.AlphabetSize, d.Network.Name)
+	index := make(map[string]uint32, len(d.Network.STEs))
+	for _, ste := range d.Network.STEs {
+		class, err := parseSymbolSet(ste.SymbolSet)
+		if err != nil {
+			return nil, err
+		}
+		start := automata.NoStart
+		switch ste.Start {
+		case "all-input":
+			start = automata.AllInput
+		case "start-of-data":
+			start = automata.StartOfData
+		case "":
+		default:
+			return nil, fmt.Errorf("anml: unknown start kind %q", ste.Start)
+		}
+		st := automata.NewState(class, start)
+		if len(ste.Reports) > 1 {
+			return nil, fmt.Errorf("anml: STE %s has %d report codes, at most 1 supported", ste.ID, len(ste.Reports))
+		}
+		if len(ste.Reports) == 1 {
+			st.Report = ste.Reports[0].Code
+		}
+		if _, dup := index[ste.ID]; dup {
+			return nil, fmt.Errorf("anml: duplicate STE id %q", ste.ID)
+		}
+		index[ste.ID] = n.AddState(st)
+	}
+	for _, ste := range d.Network.STEs {
+		from := index[ste.ID]
+		for _, act := range ste.Activates {
+			to, ok := index[act.Element]
+			if !ok {
+				return nil, fmt.Errorf("anml: STE %s activates unknown element %q", ste.ID, act.Element)
+			}
+			n.AddEdge(from, to)
+		}
+	}
+	return n, nil
+}
+
+// Write emits the document as indented XML.
+func (d *Document) Write(w io.Writer) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Read parses an ANML document.
+func Read(r io.Reader) (*Document, error) {
+	var d Document
+	if err := xml.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("anml: %w", err)
+	}
+	return &d, nil
+}

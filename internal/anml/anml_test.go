@@ -1,0 +1,172 @@
+package anml
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/automata"
+	"github.com/cap-repro/crisprscan/internal/dna"
+)
+
+func testNFA(t *testing.T, seed int64) *automata.NFA {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	spacer := make(dna.Seq, 8)
+	for i := range spacer {
+		spacer[i] = dna.Base(rng.Intn(4))
+	}
+	n, err := automata.CompileHamming(dna.PatternFromSeq(spacer),
+		automata.CompileOptions{MaxMismatches: 2, PAM: dna.MustParsePattern("NGG"), Code: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func scan(t *testing.T, n *automata.NFA, genome dna.Seq) []automata.Report {
+	t.Helper()
+	return automata.NewSim(n).ScanCollect(automata.SymbolsOfSeq(genome))
+}
+
+func randGenome(seed int64, length int) dna.Seq {
+	rng := rand.New(rand.NewSource(seed))
+	g := make(dna.Seq, length)
+	for i := range g {
+		g[i] = dna.Base(rng.Intn(4))
+	}
+	return g
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	n := testNFA(t, 1)
+	doc, err := FromNFA(n, "net0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"<anml", "automata-network", "state-transition-element", "all-input", "report-on-match"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("serialized ANML missing %q", want)
+		}
+	}
+	parsed, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := parsed.ToNFA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	genome := randGenome(2, 60000)
+	a, b := scan(t, n, genome), scan(t, back, genome)
+	if len(a) == 0 {
+		t.Fatal("fixture produced no reports; pick a better seed")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("round trip changed language: %d vs %d reports", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("report %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFromNFARejectsStride2(t *testing.T) {
+	n := testNFA(t, 3)
+	s2, err := automata.Multistride2(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromNFA(s2, "x"); err == nil {
+		t.Error("stride-2 export must be rejected")
+	}
+}
+
+func TestParseSymbolSetErrors(t *testing.T) {
+	for _, bad := range []string{"", "AG", "[AX]", "[", "]"} {
+		if _, err := parseSymbolSet(bad); err == nil {
+			t.Errorf("parseSymbolSet(%q) should fail", bad)
+		}
+	}
+	c, err := parseSymbolSet("[ACGT]")
+	if err != nil || c.Count() != 4 {
+		t.Errorf("parseSymbolSet([ACGT]) = %v, %v", c, err)
+	}
+	c, err = parseSymbolSet("[]")
+	if err != nil || c != 0 {
+		t.Errorf("empty set should parse to 0: %v, %v", c, err)
+	}
+}
+
+func TestToNFAErrors(t *testing.T) {
+	doc := &Document{Network: Network{STEs: []STE{
+		{ID: "a", SymbolSet: "[A]", Activates: []Activate{{Element: "missing"}}},
+	}}}
+	if _, err := doc.ToNFA(); err == nil {
+		t.Error("dangling activation must error")
+	}
+	doc = &Document{Network: Network{STEs: []STE{
+		{ID: "a", SymbolSet: "[A]"}, {ID: "a", SymbolSet: "[C]"},
+	}}}
+	if _, err := doc.ToNFA(); err == nil {
+		t.Error("duplicate STE id must error")
+	}
+	doc = &Document{Network: Network{STEs: []STE{
+		{ID: "a", SymbolSet: "[A]", Start: "sometimes"},
+	}}}
+	if _, err := doc.ToNFA(); err == nil {
+		t.Error("bad start kind must error")
+	}
+}
+
+func TestJSONRoundTripStride2(t *testing.T) {
+	n := testNFA(t, 4)
+	s2, err := automata.Multistride2(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, ToJSON(s2, "s2")); err != nil {
+		t.Fatal(err)
+	}
+	net, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genome := randGenome(5, 2001)
+	in := automata.SymbolsOfSeq(genome)
+	var a, b []automata.Report
+	automata.ScanStride2(automata.NewSim(s2), in, func(r automata.Report) { a = append(a, r) })
+	automata.ScanStride2(automata.NewSim(back), in, func(r automata.Report) { b = append(b, r) })
+	if len(a) != len(b) {
+		t.Fatalf("JSON round trip changed language: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("report %d differs", i)
+		}
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	if _, err := FromJSON(&JSONNetwork{Alphabet: 4, Nodes: []JSONNode{{ID: 3}}}); err == nil {
+		t.Error("non-dense ids must error")
+	}
+	if _, err := FromJSON(&JSONNetwork{Alphabet: 4, Nodes: []JSONNode{{ID: 0, Out: []uint32{9}}}}); err == nil {
+		t.Error("out-of-range edge must error")
+	}
+	if _, err := FromJSON(&JSONNetwork{Alphabet: 4, Nodes: []JSONNode{{ID: 0, Start: "bogus"}}}); err == nil {
+		t.Error("bad start kind must error")
+	}
+}

@@ -1,0 +1,109 @@
+package anml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/cap-repro/crisprscan/internal/automata"
+)
+
+// MNRL-style JSON encoding: a flat node list, one object per state.
+// Unlike the ANML XML form this round-trips every NFA feature we use,
+// including stride-2 alphabets and mid-symbol report codes, so it is the
+// format cmd/anmlview uses for machine-readable dumps.
+
+// JSONNetwork is the top-level JSON object.
+type JSONNetwork struct {
+	ID       string     `json:"id"`
+	Alphabet int        `json:"alphabet"`
+	Nodes    []JSONNode `json:"nodes"`
+}
+
+// JSONNode is one state.
+type JSONNode struct {
+	ID        int      `json:"id"`
+	Class     uint64   `json:"class"` // bitset over the alphabet
+	Start     string   `json:"start,omitempty"`
+	Report    *int32   `json:"report,omitempty"`
+	ReportMid *int32   `json:"reportMid,omitempty"`
+	Out       []uint32 `json:"out,omitempty"`
+}
+
+// ToJSON converts an NFA to the JSON network form.
+func ToJSON(n *automata.NFA, id string) *JSONNetwork {
+	net := &JSONNetwork{ID: id, Alphabet: n.Alphabet}
+	for i := range n.States {
+		s := &n.States[i]
+		node := JSONNode{ID: i, Class: uint64(s.Class), Out: s.Out}
+		switch s.Start {
+		case automata.AllInput:
+			node.Start = "all-input"
+		case automata.StartOfData:
+			node.Start = "start-of-data"
+		}
+		if s.Report != automata.NoReport {
+			r := s.Report
+			node.Report = &r
+		}
+		if s.ReportMid != automata.NoReport {
+			r := s.ReportMid
+			node.ReportMid = &r
+		}
+		net.Nodes = append(net.Nodes, node)
+	}
+	return net
+}
+
+// FromJSON converts the JSON network form back to an NFA.
+func FromJSON(net *JSONNetwork) (*automata.NFA, error) {
+	n := automata.New(net.Alphabet, net.ID)
+	for i, node := range net.Nodes {
+		if node.ID != i {
+			return nil, fmt.Errorf("anml: node %d has id %d; ids must be dense and ordered", i, node.ID)
+		}
+		start := automata.NoStart
+		switch node.Start {
+		case "all-input":
+			start = automata.AllInput
+		case "start-of-data":
+			start = automata.StartOfData
+		case "":
+		default:
+			return nil, fmt.Errorf("anml: unknown start kind %q", node.Start)
+		}
+		st := automata.NewState(automata.Class(node.Class), start)
+		if node.Report != nil {
+			st.Report = *node.Report
+		}
+		if node.ReportMid != nil {
+			st.ReportMid = *node.ReportMid
+		}
+		n.AddState(st)
+	}
+	for i, node := range net.Nodes {
+		for _, v := range node.Out {
+			if int(v) >= len(net.Nodes) {
+				return nil, fmt.Errorf("anml: node %d references out-of-range node %d", i, v)
+			}
+			n.AddEdge(uint32(i), v)
+		}
+	}
+	return n, nil
+}
+
+// WriteJSON emits the network as indented JSON.
+func WriteJSON(w io.Writer, net *JSONNetwork) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(net)
+}
+
+// ReadJSON parses a JSON network.
+func ReadJSON(r io.Reader) (*JSONNetwork, error) {
+	var net JSONNetwork
+	if err := json.NewDecoder(r).Decode(&net); err != nil {
+		return nil, fmt.Errorf("anml: %w", err)
+	}
+	return &net, nil
+}

@@ -1,0 +1,145 @@
+package ap
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/automata"
+)
+
+func TestComponentsPerGuide(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	specs := randSpecs(rng, 7, 12, 2)
+	m, err := Compile(specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := m.NFA().Components()
+	if len(comps) != 7 {
+		t.Fatalf("expected 7 components (one per guide), got %d", len(comps))
+	}
+	total := 0
+	for _, c := range comps {
+		total += len(c)
+	}
+	if total != m.NFA().NumStates() {
+		t.Errorf("components cover %d of %d states", total, m.NFA().NumStates())
+	}
+}
+
+func TestSubNFAPreservesLanguagePerComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	specs := randSpecs(rng, 3, 8, 1)
+	m, err := Compile(specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.NFA()
+	genome := make([]uint8, 4000)
+	for i := range genome {
+		genome[i] = uint8(rng.Intn(4))
+	}
+	whole := automata.NewSim(n).ScanCollect(genome)
+	var split []automata.Report
+	for i, comp := range n.Components() {
+		sub := n.SubNFA(comp, "part")
+		if err := sub.Validate(); err != nil {
+			t.Fatalf("component %d: %v", i, err)
+		}
+		split = append(split, automata.NewSim(sub).ScanCollect(genome)...)
+	}
+	if len(whole) != len(split) {
+		t.Fatalf("component split changed report count: %d vs %d", len(split), len(whole))
+	}
+	seen := map[automata.Report]int{}
+	for _, r := range whole {
+		seen[r]++
+	}
+	for _, r := range split {
+		seen[r]--
+	}
+	for r, c := range seen {
+		if c != 0 {
+			t.Fatalf("report multiset differs at %v (%+d)", r, c)
+		}
+	}
+}
+
+func TestPlaceComponentsPacking(t *testing.T) {
+	rng := rand.New(rand.NewSource(133))
+	specs := randSpecs(rng, 10, 20, 3)
+	m, err := Compile(specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny chips force multi-chip packing; each k=3 guide automaton is
+	// 134 STEs.
+	dev := D480Board
+	dev.STEsPerChip = 300
+	dev.Chips = 2
+	p, err := PlaceComponents(m.NFA(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UsedChips() < 5 {
+		t.Errorf("10 components of 134 STEs into 300-STE chips: used %d chips, want >=5", p.UsedChips())
+	}
+	for chip, load := range p.ChipLoad {
+		if load > dev.STEsPerChip {
+			t.Errorf("chip %d overloaded: %d", chip, load)
+		}
+	}
+	if p.MaxLoad() > dev.STEsPerChip {
+		t.Error("MaxLoad exceeds capacity")
+	}
+	if p.Passes != (p.UsedChips()+1)/2 {
+		t.Errorf("passes = %d for %d chips on a 2-chip board", p.Passes, p.UsedChips())
+	}
+	if p.Fragmentation < 0 || p.Fragmentation >= 1 {
+		t.Errorf("fragmentation = %f", p.Fragmentation)
+	}
+}
+
+func TestPlaceComponentsOversizedComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(134))
+	m, err := Compile(randSpecs(rng, 1, 20, 3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := D480Board
+	dev.STEsPerChip = 10
+	if _, err := PlaceComponents(m.NFA(), dev); err == nil {
+		t.Error("component larger than a chip must fail placement")
+	}
+}
+
+func TestPlaceNetworkUpdatesPasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(135))
+	// 131 STEs/guide at k=3 m=20 pam=3 with component granularity: chips
+	// of 150 STEs hold exactly one component each despite aggregate
+	// capacity suggesting otherwise.
+	dev := D480Board
+	dev.STEsPerChip = 150
+	dev.Chips = 4
+	m, err := Compile(randSpecs(rng, 8, 20, 3), Options{Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggregatePasses := m.Resources().Passes
+	p, err := m.PlaceNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UsedChips() != 8 {
+		t.Errorf("used chips = %d, want 8 (one component per 150-STE chip)", p.UsedChips())
+	}
+	if m.Resources().Passes < aggregatePasses {
+		t.Error("placement must never reduce the pass count")
+	}
+	if m.Resources().Passes != 2 {
+		t.Errorf("8 chips on a 4-chip board = 2 passes, got %d", m.Resources().Passes)
+	}
+	if p.Fragmentation <= 0 {
+		t.Errorf("expected fragmentation > 0, got %f", p.Fragmentation)
+	}
+}

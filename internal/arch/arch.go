@@ -1,0 +1,203 @@
+// Package arch defines the abstractions shared by every execution
+// platform in the study: the scan-engine interface the orchestrator
+// drives, the timing breakdown every platform reports, and resource
+// accounting for spatial architectures.
+//
+// The paper evaluates six systems. Two baselines (Cas-OFFinder, CasOT)
+// and the automata CPU engine (the HyperScan stand-in) execute for real
+// and are wall-clock measured; the three accelerator platforms (Micron
+// AP, FPGA, iNFAnt2 on GPU) are analytic models whose device constants
+// come from published specifications, executed functionally through the
+// shared automata simulator. Both kinds expose the same interfaces here
+// so the benchmark harness treats them uniformly.
+package arch
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/cap-repro/crisprscan/internal/automata"
+	"github.com/cap-repro/crisprscan/internal/dna"
+	"github.com/cap-repro/crisprscan/internal/genome"
+)
+
+// PatternSpec is the engine-independent description of one search
+// pattern: a spacer matched with up to K mismatches plus an exactly
+// matched PAM. Code is the event code reported for matches (the
+// orchestrator assigns guideIndex*2 + strand).
+//
+// Both fields are in plus-strand window order. A plus-strand site reads
+// spacer-then-PAM; a minus-strand site's plus-strand window reads
+// revcomp(PAM)-then-revcomp(spacer), which the orchestrator expresses as
+// a spec with PAMLeft set and both parts reverse-complemented. Engines
+// therefore scan the forward genome once and cover both strands.
+type PatternSpec struct {
+	Spacer dna.Pattern
+	PAM    dna.Pattern
+	// PAMLeft places the PAM before the spacer in the window
+	// (minus-strand patterns).
+	PAMLeft bool
+	K       int
+	Code    int32
+}
+
+// SiteLen returns the full window length (spacer plus PAM).
+func (p PatternSpec) SiteLen() int { return len(p.Spacer) + len(p.PAM) }
+
+// Window returns the full degenerate window pattern in scan order.
+func (p PatternSpec) Window() dna.Pattern {
+	if p.PAMLeft {
+		return append(append(dna.Pattern{}, p.PAM...), p.Spacer...)
+	}
+	return append(append(dna.Pattern{}, p.Spacer...), p.PAM...)
+}
+
+// SpacerOffset returns the window index where the spacer begins.
+func (p PatternSpec) SpacerOffset() int {
+	if p.PAMLeft {
+		return len(p.PAM)
+	}
+	return 0
+}
+
+// PAMOffset returns the window index where the PAM begins.
+func (p PatternSpec) PAMOffset() int {
+	if p.PAMLeft {
+		return 0
+	}
+	return len(p.Spacer)
+}
+
+// MinusSpec derives the minus-strand spec for a plus-strand spec: both
+// parts reverse-complemented, PAM side flipped, and the code set to the
+// given value.
+func (p PatternSpec) MinusSpec(code int32) PatternSpec {
+	return PatternSpec{
+		Spacer:  p.Spacer.ReverseComplement(),
+		PAM:     p.PAM.ReverseComplement(),
+		PAMLeft: !p.PAMLeft,
+		K:       p.K,
+		Code:    code,
+	}
+}
+
+// Engine scans chromosomes and emits match events. Event codes are
+// assigned by the caller at compile time (conventionally
+// guideIndex*2 + strand).
+type Engine interface {
+	// Name identifies the engine in tables ("hyperscan", "casot", ...).
+	Name() string
+	// ScanChrom scans one chromosome and emits every match event.
+	// End positions are 0-based indices of the last matched base.
+	ScanChrom(c *genome.Chromosome, emit func(automata.Report)) error
+}
+
+// Modeled is implemented by platform models that, in addition to
+// functional execution, predict device timing analytically.
+type Modeled interface {
+	Engine
+	// EstimateBreakdown predicts the device-time breakdown for scanning
+	// inputLen bases producing reportCount match events.
+	EstimateBreakdown(inputLen, reportCount int) Breakdown
+	// Resources reports spatial resource usage after compilation.
+	Resources() ResourceUsage
+}
+
+// Breakdown is the per-phase time decomposition the paper's end-to-end
+// figures use. All values are seconds of modeled (or measured) time.
+type Breakdown struct {
+	Compile  float64 // pattern compilation / synthesis / placement
+	Transfer float64 // host-to-device input streaming overhead
+	Kernel   float64 // the scan itself
+	Report   float64 // report extraction and post-processing
+}
+
+// Total sums every phase.
+func (b Breakdown) Total() float64 {
+	return b.Compile + b.Transfer + b.Kernel + b.Report
+}
+
+// Add accumulates another breakdown (used when a scan needs multiple
+// passes or covers multiple chromosomes).
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		Compile:  b.Compile + o.Compile,
+		Transfer: b.Transfer + o.Transfer,
+		Kernel:   b.Kernel + o.Kernel,
+		Report:   b.Report + o.Report,
+	}
+}
+
+// Online returns the on-line time (everything but the one-time compile)
+// without transfer overlap: transfer + kernel + report.
+func (b Breakdown) Online() float64 { return b.Transfer + b.Kernel + b.Report }
+
+// OnlineOverlapped returns the on-line time assuming the host streams
+// input concurrently with kernel execution (double buffering) — one of
+// the paper's proposed improvements for the spatial platforms, whose
+// transfer often rivals their kernel (E6). The slower of the two
+// pipelines binds; reports drain afterwards.
+func (b Breakdown) OnlineOverlapped() float64 {
+	slower := b.Transfer
+	if b.Kernel > slower {
+		slower = b.Kernel
+	}
+	return slower + b.Report
+}
+
+// String renders the breakdown compactly for tables.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("compile=%s transfer=%s kernel=%s report=%s total=%s",
+		Seconds(b.Compile), Seconds(b.Transfer), Seconds(b.Kernel), Seconds(b.Report), Seconds(b.Total()))
+}
+
+// Seconds formats a float second count using time.Duration rendering.
+func Seconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// ResourceUsage reports how much of a spatial device a compiled workload
+// occupies.
+type ResourceUsage struct {
+	// States is the automaton state count mapped onto the device
+	// (STEs on the AP, LUT/FF pairs on the FPGA).
+	States int
+	// Capacity is the device's total state capacity per pass.
+	Capacity int
+	// Passes is ceil(States / Capacity): how many times the input must
+	// be streamed because the workload exceeds one configuration.
+	Passes int
+	// ReportStates counts reporting states (the AP's output resource).
+	ReportStates int
+}
+
+// Utilization is the occupied fraction of the final pass's device.
+func (r ResourceUsage) Utilization() float64 {
+	if r.Capacity == 0 {
+		return 0
+	}
+	return float64(r.States) / float64(r.Capacity*maxInt(r.Passes, 1))
+}
+
+// PassesFor computes the pass count for a state demand and capacity.
+func PassesFor(states, capacity int) int {
+	if capacity <= 0 || states <= 0 {
+		return 1
+	}
+	return (states + capacity - 1) / capacity
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MeasuredSeconds runs fn once and returns wall-clock seconds; the
+// harness uses it for the measured engines.
+func MeasuredSeconds(fn func() error) (float64, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start).Seconds(), err
+}

@@ -1,0 +1,267 @@
+package automata
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/dna"
+)
+
+// refHamming is the oracle: report (code, end) for every window whose
+// spacer part has <= k mismatches and whose PAM matches exactly.
+func refHamming(genome dna.Seq, spacer dna.Pattern, pam dna.Pattern, k int, code int32) []Report {
+	var out []Report
+	site := len(spacer) + len(pam)
+	for p := 0; p+site <= len(genome); p++ {
+		if genome[p : p+site].HasAmbiguous() {
+			continue // windows containing N are never sites
+		}
+		if spacer.Mismatches(genome[p:p+len(spacer)]) > k {
+			continue
+		}
+		if len(pam) > 0 && !pam.Matches(genome[p+len(spacer):p+site]) {
+			continue
+		}
+		out = append(out, Report{Code: code, End: p + site - 1})
+	}
+	return out
+}
+
+func sortReports(r []Report) {
+	sort.Slice(r, func(i, j int) bool {
+		if r[i].End != r[j].End {
+			return r[i].End < r[j].End
+		}
+		return r[i].Code < r[j].Code
+	})
+}
+
+func dedupReports(r []Report) []Report {
+	sortReports(r)
+	w := 0
+	for i, x := range r {
+		if i == 0 || x != r[w-1] {
+			r[w] = x
+			w++
+		}
+	}
+	return r[:w]
+}
+
+func reportsEqual(a, b []Report) bool {
+	a, b = dedupReports(a), dedupReports(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randSeq(rng *rand.Rand, n int) dna.Seq {
+	s := make(dna.Seq, n)
+	for i := range s {
+		s[i] = dna.Base(rng.Intn(4))
+	}
+	return s
+}
+
+func TestCompileHammingValidates(t *testing.T) {
+	spacer := dna.PatternFromSeq(dna.MustParseSeq("ACGTACGTAC"))
+	pam := dna.MustParsePattern("NGG")
+	for k := 0; k <= 4; k++ {
+		n, err := CompileHamming(spacer, CompileOptions{MaxMismatches: k, PAM: pam, Code: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got, want := n.NumStates(), HammingStateCount(len(spacer), k, len(pam)); got != want {
+			t.Errorf("k=%d: %d states, predicted %d", k, got, want)
+		}
+	}
+}
+
+func TestCompileHammingErrors(t *testing.T) {
+	spacer := dna.PatternFromSeq(dna.MustParseSeq("ACGT"))
+	if _, err := CompileHamming(nil, CompileOptions{}); err == nil {
+		t.Error("empty spacer must error")
+	}
+	if _, err := CompileHamming(spacer, CompileOptions{MaxMismatches: -1}); err == nil {
+		t.Error("negative k must error")
+	}
+	if _, err := CompileHamming(spacer, CompileOptions{MaxMismatches: 5}); err == nil {
+		t.Error("k > len must error")
+	}
+}
+
+func TestHammingExactMatch(t *testing.T) {
+	genome := dna.MustParseSeq("TTTACGTAAGGTT")
+	spacer := dna.PatternFromSeq(dna.MustParseSeq("ACGTA"))
+	pam := dna.MustParsePattern("NGG")
+	n, err := CompileHamming(spacer, CompileOptions{MaxMismatches: 0, PAM: pam, Code: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NewSim(n).ScanCollect(SymbolsOfSeq(genome))
+	want := []Report{{Code: 1, End: 10}} // ACGTA at 3..7, AGG at 8..10
+	if !reportsEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestHammingMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pam := dna.MustParsePattern("NGG")
+	for trial := 0; trial < 30; trial++ {
+		m := 6 + rng.Intn(6)
+		k := rng.Intn(4)
+		if k > m {
+			k = m
+		}
+		spacer := dna.PatternFromSeq(randSeq(rng, m))
+		genome := randSeq(rng, 2000)
+		n, err := CompileHamming(spacer, CompileOptions{MaxMismatches: k, PAM: pam, Code: int32(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := NewSim(n).ScanCollect(SymbolsOfSeq(genome))
+		want := refHamming(genome, spacer, pam, k, int32(trial))
+		if !reportsEqual(got, want) {
+			t.Fatalf("trial %d (m=%d k=%d): %d reports, oracle %d", trial, m, k, len(dedupReports(got)), len(want))
+		}
+	}
+}
+
+func TestHammingNoPAM(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	spacer := dna.PatternFromSeq(randSeq(rng, 8))
+	genome := randSeq(rng, 1000)
+	n, err := CompileHamming(spacer, CompileOptions{MaxMismatches: 2, Code: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NewSim(n).ScanCollect(SymbolsOfSeq(genome))
+	want := refHamming(genome, spacer, nil, 2, 0)
+	if !reportsEqual(got, want) {
+		t.Fatalf("no-PAM mismatch: got %d, want %d", len(dedupReports(got)), len(want))
+	}
+}
+
+func TestHammingDegenerateSpacerPositions(t *testing.T) {
+	// Leading N in the spacer (common for gRNAs synthesized with a G
+	// prepended): N can never mismatch.
+	spacer := dna.MustParsePattern("NCGT")
+	genome := dna.MustParseSeq("TTACGTAGGTTTTGCGTTGGTT")
+	pam := dna.MustParsePattern("NGG")
+	n, err := CompileHamming(spacer, CompileOptions{MaxMismatches: 0, PAM: pam, Code: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NewSim(n).ScanCollect(SymbolsOfSeq(genome))
+	want := refHamming(genome, spacer, pam, 0, 3)
+	if len(want) < 2 {
+		t.Fatalf("test fixture should contain at least 2 sites, oracle found %d", len(want))
+	}
+	if !reportsEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestHammingAmbiguousGenomeKillsMatches(t *testing.T) {
+	spacer := dna.PatternFromSeq(dna.MustParseSeq("ACGTA"))
+	pam := dna.MustParsePattern("NGG")
+	genome, _ := dna.ParseSeq("TTTACGNAGGTTT") // N inside the site window
+	n, err := CompileHamming(spacer, CompileOptions{MaxMismatches: 1, PAM: pam, Code: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NewSim(n).ScanCollect(SymbolsOfSeq(genome))
+	if len(got) != 0 {
+		t.Errorf("matches crossing an N must die, got %v", got)
+	}
+}
+
+func TestHammingUnionMultipleGuides(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pam := dna.MustParsePattern("NGG")
+	genome := randSeq(rng, 3000)
+	var parts []*NFA
+	var want []Report
+	for g := 0; g < 8; g++ {
+		spacer := dna.PatternFromSeq(randSeq(rng, 7))
+		n, err := CompileHamming(spacer, CompileOptions{MaxMismatches: 2, PAM: pam, Code: int32(g)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, n)
+		want = append(want, refHamming(genome, spacer, pam, 2, int32(g))...)
+	}
+	u, err := UnionAll("union", parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := NewSim(u).ScanCollect(SymbolsOfSeq(genome))
+	if !reportsEqual(got, want) {
+		t.Fatalf("union scan: got %d reports, want %d", len(dedupReports(got)), len(dedupReports(want)))
+	}
+}
+
+func TestTrimPreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	spacer := dna.PatternFromSeq(randSeq(rng, 8))
+	n, err := CompileHamming(spacer, CompileOptions{MaxMismatches: 2, PAM: dna.MustParsePattern("NGG"), Code: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add junk: an unreachable state and a dead-end state.
+	junk1 := n.AddState(NewState(ClassOfMask(dna.MaskA), NoStart))
+	junk2 := n.AddState(NewState(ClassOfMask(dna.MaskC), AllInput))
+	n.AddEdge(junk1, junk2)
+	trimmed, removed := n.Trim()
+	if removed != 2 {
+		t.Errorf("removed %d states, want 2", removed)
+	}
+	genome := randSeq(rng, 1500)
+	a := NewSim(n).ScanCollect(SymbolsOfSeq(genome))
+	b := NewSim(trimmed).ScanCollect(SymbolsOfSeq(genome))
+	if !reportsEqual(a, b) {
+		t.Error("trim changed the language")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	spacer := dna.PatternFromSeq(dna.MustParseSeq("ACGTACGT"))
+	n, _ := CompileHamming(spacer, CompileOptions{MaxMismatches: 1, PAM: dna.MustParsePattern("NGG"), Code: 0})
+	st := n.ComputeStats()
+	if st.States != n.NumStates() || st.Edges != n.NumEdges() {
+		t.Error("stats disagree with direct counts")
+	}
+	if st.StartStates != 2 { // match(1,0) and miss(1,1)
+		t.Errorf("StartStates = %d, want 2", st.StartStates)
+	}
+	if st.ReportStates != 1 {
+		t.Errorf("ReportStates = %d, want 1", st.ReportStates)
+	}
+	if st.MaxFanOut < 2 || st.MaxFanIn < 2 {
+		t.Errorf("fan stats implausible: %+v", st)
+	}
+}
+
+func TestValidateCatchesBadEdges(t *testing.T) {
+	n := New(4, "bad")
+	s := n.AddState(NewState(ClassOfMask(dna.MaskA), AllInput))
+	n.States[s].Report = 0
+	n.States[s].Out = append(n.States[s].Out, 99)
+	if err := n.Validate(); err == nil {
+		t.Error("out-of-range edge must fail validation")
+	}
+}

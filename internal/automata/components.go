@@ -1,0 +1,84 @@
+package automata
+
+// Connected-component analysis. Spatial placement needs it: an automaton
+// network is placed chip-by-chip on the AP (and region-by-region on an
+// FPGA), and a connected component — one guide's lattice, typically —
+// cannot span devices because activation wires do not cross chips.
+
+// Components partitions the states into weakly connected components and
+// returns, for each component, its member state indices (ascending).
+// Components are ordered by their smallest member.
+func (n *NFA) Components() [][]uint32 {
+	parent := make([]int32, len(n.States))
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for i := range n.States {
+		for _, v := range n.States[i].Out {
+			union(int32(i), int32(v))
+		}
+	}
+	groups := make(map[int32][]uint32)
+	var order []int32
+	for i := range n.States {
+		r := find(int32(i))
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], uint32(i))
+	}
+	out := make([][]uint32, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// ComponentSizes returns the size of each connected component.
+func (n *NFA) ComponentSizes() []int {
+	comps := n.Components()
+	sizes := make([]int, len(comps))
+	for i, c := range comps {
+		sizes[i] = len(c)
+	}
+	return sizes
+}
+
+// SubNFA extracts the sub-automaton induced by the given states (which
+// should be closed under edges, as components are). Report codes, start
+// kinds and classes are preserved; state ids are renumbered densely.
+func (n *NFA) SubNFA(states []uint32, label string) *NFA {
+	remap := make(map[uint32]uint32, len(states))
+	out := New(n.Alphabet, label)
+	for _, s := range states {
+		st := n.States[s]
+		st.Out = nil
+		remap[s] = out.AddState(st)
+	}
+	for _, s := range states {
+		from := remap[s]
+		for _, v := range n.States[s].Out {
+			if to, ok := remap[v]; ok {
+				out.AddEdge(from, to)
+			}
+		}
+	}
+	return out
+}

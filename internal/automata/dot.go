@@ -1,0 +1,73 @@
+package automata
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/cap-repro/crisprscan/internal/dna"
+)
+
+// WriteDot renders the automaton in Graphviz DOT form for inspection:
+// start states are doubled-bordered, reporting states are filled, and
+// each node shows its character class (IUPAC letter for stride-1
+// classes, a hex bitset otherwise).
+func (n *NFA) WriteDot(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [shape=circle, fontsize=10];\n", name); err != nil {
+		return err
+	}
+	for i := range n.States {
+		s := &n.States[i]
+		label := classLabel(n.Alphabet, s.Class)
+		attrs := fmt.Sprintf("label=%q", fmt.Sprintf("%d:%s", i, label))
+		if s.Start != NoStart {
+			attrs += ", peripheries=2"
+		}
+		if s.Report != NoReport || s.ReportMid != NoReport {
+			attrs += ", style=filled, fillcolor=lightgrey"
+			if s.Report != NoReport {
+				attrs += fmt.Sprintf(", xlabel=\"r%d\"", s.Report)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  s%d [%s];\n", i, attrs); err != nil {
+			return err
+		}
+	}
+	for i := range n.States {
+		for _, v := range n.States[i].Out {
+			if _, err := fmt.Fprintf(w, "  s%d -> s%d;\n", i, v); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// classLabel renders a character class compactly.
+func classLabel(alphabet int, c Class) string {
+	if alphabet == dna.AlphabetSize {
+		if c == ClassOfMask(dna.MaskAny) {
+			return "N"
+		}
+		out := ""
+		for b := dna.A; b <= dna.T; b++ {
+			if c.HasSym(uint8(b)) {
+				out += string(b.Char())
+			}
+		}
+		if out == "" {
+			return "-"
+		}
+		if len(out) == 3 {
+			// Render 3-base sets as the negation, which is how mismatch
+			// states read naturally (e.g. !A).
+			for b := dna.A; b <= dna.T; b++ {
+				if !c.HasSym(uint8(b)) {
+					return "!" + string(b.Char())
+				}
+			}
+		}
+		return out
+	}
+	return fmt.Sprintf("%#x", uint64(c))
+}

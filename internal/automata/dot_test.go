@@ -1,0 +1,54 @@
+package automata
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/dna"
+)
+
+func TestWriteDot(t *testing.T) {
+	n, err := CompileHamming(dna.PatternFromSeq(dna.MustParseSeq("ACGT")),
+		CompileOptions{MaxMismatches: 1, PAM: dna.MustParsePattern("NGG"), Code: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.WriteDot(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph \"test\"",
+		"peripheries=2",       // start states
+		"fillcolor=lightgrey", // reporting state
+		"xlabel=\"r3\"",       // report code
+		"->",                  // edges
+		"!A",                  // negated mismatch class
+		"label=\"0:A\"",       // match class
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// Edge count in the output matches the automaton.
+	if got := strings.Count(out, "->"); got != n.NumEdges() {
+		t.Errorf("%d edges rendered, automaton has %d", got, n.NumEdges())
+	}
+}
+
+func TestClassLabelStride2(t *testing.T) {
+	n, _ := CompileHamming(dna.PatternFromSeq(dna.MustParseSeq("ACGT")), CompileOptions{MaxMismatches: 0, Code: 0})
+	s2, err := Multistride2(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s2.WriteDot(&buf, "s2"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0x") {
+		t.Error("stride-2 classes should render as hex bitsets")
+	}
+}

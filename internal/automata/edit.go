@@ -1,0 +1,194 @@
+package automata
+
+import (
+	"fmt"
+
+	"github.com/cap-repro/crisprscan/internal/dna"
+)
+
+// EditOptions extends CompileOptions with a bulge (gap) budget, giving
+// the edit-distance automaton the paper sketches for bulge-tolerant
+// search (the capability CasOT calls DNA/RNA bulges).
+type EditOptions struct {
+	// MaxMismatches is the substitution budget.
+	MaxMismatches int
+	// MaxBulge is the combined budget for RNA bulges (deleted spacer
+	// positions) and DNA bulges (inserted genome bases). Bulges are only
+	// permitted strictly inside the spacer alignment, never at its ends,
+	// matching how bulge-aware off-target tools define sites.
+	MaxBulge int
+	PAM      dna.Pattern
+	// PAMLeft places the PAM before the spacer in the scanned window
+	// (minus-strand patterns).
+	PAMLeft bool
+	Code    int32
+}
+
+// editKey identifies a lattice node: pattern position consumed (1-based),
+// substitutions used, gaps used, and the entry kind.
+type editKey struct {
+	i, s, g int
+	kind    uint8 // 0 = match entry, 1 = substitution entry, 2 = insertion entry
+}
+
+// CompileEdit builds the homogeneous edit-distance NFA for one spacer.
+// A homogeneous automaton has no epsilon transitions, so spacer deletions
+// (which consume no genome base) are folded into the outgoing edges:
+// from a node at pattern position i, edges jump over d deleted positions
+// directly into the consuming state at position i+d+1, charging d gaps.
+// Insertions are explicit states with class N (any base) that keep the
+// pattern position fixed.
+func CompileEdit(spacer dna.Pattern, opt EditOptions) (*NFA, error) {
+	m := len(spacer)
+	if m < 2 {
+		return nil, fmt.Errorf("automata: edit compilation needs spacer length >= 2, got %d", m)
+	}
+	k, b := opt.MaxMismatches, opt.MaxBulge
+	if k < 0 || k > m {
+		return nil, fmt.Errorf("automata: mismatch budget %d out of range", k)
+	}
+	if b < 0 || b >= m {
+		return nil, fmt.Errorf("automata: bulge budget %d out of range", b)
+	}
+	n := New(dna.AlphabetSize, fmt.Sprintf("edit(k=%d,b=%d,%s%s)", k, b, spacer, opt.PAM))
+
+	// With a left PAM the exact chain comes first and owns the start
+	// state; its tail feeds the lattice entry states.
+	var pamTail []uint32
+	latticeStart := AllInput
+	if opt.PAMLeft && len(opt.PAM) > 0 {
+		latticeStart = NoStart
+		var prev uint32
+		for p, mask := range opt.PAM {
+			start := NoStart
+			if p == 0 {
+				start = AllInput
+			}
+			id := n.AddState(NewState(ClassOfMask(mask), start))
+			if p > 0 {
+				n.AddEdge(prev, id)
+			}
+			prev = id
+		}
+		pamTail = []uint32{prev}
+	}
+
+	ids := make(map[editKey]uint32)
+	state := func(key editKey) (uint32, bool) {
+		if id, ok := ids[key]; ok {
+			return id, true
+		}
+		var class Class
+		switch key.kind {
+		case 0:
+			class = ClassOfMask(spacer[key.i-1])
+		case 1:
+			class = ClassOfMask(dna.MaskAny &^ spacer[key.i-1])
+		case 2:
+			class = ClassOfMask(dna.MaskAny)
+		}
+		if class == 0 {
+			return 0, false // impossible entry (for example mismatching an N position)
+		}
+		start := NoStart
+		entry := false
+		if key.i == 1 && key.kind != 2 && key.s <= 1 && key.g == 0 {
+			// Only the very first consumed base can be an entry point:
+			// match(1,0,0) or subst(1,1,0).
+			if key.kind == 0 && key.s == 0 || key.kind == 1 && key.s == 1 {
+				entry = true
+				start = latticeStart
+			}
+		}
+		id := n.AddState(NewState(class, start))
+		if entry {
+			for _, t := range pamTail {
+				n.AddEdge(t, id)
+			}
+		}
+		ids[key] = id
+		return id, true
+	}
+
+	// Breadth-first construction from the two start nodes.
+	type node struct{ i, s, g int }
+	startMatch := editKey{1, 0, 0, 0}
+	startSub := editKey{1, 1, 0, 1}
+	var queue []editKey
+	if id, ok := state(startMatch); ok {
+		_ = id
+		queue = append(queue, startMatch)
+	}
+	if k >= 1 {
+		if _, ok := state(startSub); ok {
+			queue = append(queue, startSub)
+		}
+	}
+	seen := map[editKey]bool{}
+	var finals []uint32
+	addEdgeTo := func(from uint32, key editKey, queueRef *[]editKey) {
+		id, ok := state(key)
+		if !ok {
+			return
+		}
+		n.AddEdge(from, id)
+		if !seen[key] {
+			seen[key] = true
+			*queueRef = append(*queueRef, key)
+		}
+	}
+	for i := range queue {
+		seen[queue[i]] = true
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		from := ids[key]
+		cur := node{key.i, key.s, key.g}
+		// Accept if the whole spacer has been aligned.
+		if cur.i == m && key.kind != 2 {
+			finals = append(finals, from)
+			continue
+		}
+		// Consume next base, optionally after d interior deletions.
+		for d := 0; cur.g+d <= b; d++ {
+			i2 := cur.i + d
+			if i2+1 > m {
+				break // deletions may not run off the spacer end
+			}
+			g2 := cur.g + d
+			addEdgeTo(from, editKey{i2 + 1, cur.s, g2, 0}, &queue)
+			if cur.s < k {
+				addEdgeTo(from, editKey{i2 + 1, cur.s + 1, g2, 1}, &queue)
+			}
+		}
+		// Insertion (DNA bulge): consume a genome base, pattern fixed.
+		// Interior only (1 <= i < m); insertions may chain up to the budget.
+		if cur.i >= 1 && cur.i < m && cur.g < b {
+			addEdgeTo(from, editKey{cur.i, cur.s, cur.g + 1, 2}, &queue)
+		}
+	}
+	if len(finals) == 0 {
+		return nil, fmt.Errorf("automata: edit automaton has no accepting states")
+	}
+
+	if len(opt.PAM) == 0 || opt.PAMLeft {
+		for _, f := range finals {
+			n.States[f].Report = opt.Code
+		}
+	} else {
+		prev := finals
+		for p, mask := range opt.PAM {
+			st := NewState(ClassOfMask(mask), NoStart)
+			if p == len(opt.PAM)-1 {
+				st.Report = opt.Code
+			}
+			id := n.AddState(st)
+			for _, u := range prev {
+				n.AddEdge(u, id)
+			}
+			prev = []uint32{id}
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,210 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/dna"
+)
+
+// editFeasible decides whether spacer aligns to segment with at most k
+// substitutions and at most b gaps, where gaps (spacer deletions and
+// genome insertions) are only allowed strictly inside the alignment —
+// the exact semantics CompileEdit implements.
+func editFeasible(spacer dna.Pattern, segment dna.Seq, k, b int) bool {
+	m, L := len(spacer), len(segment)
+	type st struct{ i, j, s, g int }
+	memo := map[st]bool{}
+	var rec func(i, j, s, g int) bool
+	rec = func(i, j, s, g int) bool {
+		if s > k || g > b {
+			return false
+		}
+		if i == m && j == L {
+			return true
+		}
+		if i == m || j == L {
+			return false
+		}
+		key := st{i, j, s, g}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		memo[key] = false // cycle guard (there are no cycles, but be safe)
+		// Consume both (match or substitution).
+		cost := 0
+		if !spacer[i].Has(segment[j]) {
+			cost = 1
+		}
+		ok := rec(i+1, j+1, s+cost, g)
+		// Deletion of spacer[i] (RNA bulge): interior only — something
+		// must already have been consumed (i>0 && j>0) and spacer base
+		// m-1 must remain to be consumed (i <= m-2).
+		if !ok && i >= 1 && j >= 1 && i <= m-2 {
+			ok = rec(i+1, j, s, g+1)
+		}
+		// Insertion of segment[j] (DNA bulge): interior only — i>0, and
+		// a genome base must remain for the final consumption (j <= L-2).
+		if !ok && i >= 1 && j >= 1 && j <= L-2 && i <= m-1 {
+			ok = rec(i, j+1, s, g+1)
+		}
+		memo[key] = ok
+		return ok
+	}
+	return rec(0, 0, 0, 0)
+}
+
+// refEdit is the oracle for edit-mode reports: for every PAM-terminated
+// end position, a report fires if any alignment length L in
+// [m-b, m+b] is feasible.
+func refEdit(genome dna.Seq, spacer dna.Pattern, pam dna.Pattern, k, b int, code int32) []Report {
+	m := len(spacer)
+	var out []Report
+	for end := 0; end < len(genome); end++ {
+		pamStart := end - len(pam) + 1
+		if pamStart < 0 {
+			continue
+		}
+		if len(pam) > 0 && !pam.Matches(genome[pamStart:end+1]) {
+			continue
+		}
+		hit := false
+		for L := m - b; L <= m+b && !hit; L++ {
+			segStart := pamStart - L
+			if segStart < 0 {
+				continue
+			}
+			if editFeasible(spacer, genome[segStart:pamStart], k, b) {
+				hit = true
+			}
+		}
+		if hit {
+			out = append(out, Report{Code: code, End: end})
+		}
+	}
+	return out
+}
+
+func TestEditZeroBulgeEqualsHamming(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pam := dna.MustParsePattern("NGG")
+	for trial := 0; trial < 10; trial++ {
+		m := 6 + rng.Intn(4)
+		k := rng.Intn(3)
+		spacer := dna.PatternFromSeq(randSeq(rng, m))
+		genome := randSeq(rng, 1500)
+		e, err := CompileEdit(spacer, EditOptions{MaxMismatches: k, MaxBulge: 0, PAM: pam, Code: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := CompileHamming(spacer, CompileOptions{MaxMismatches: k, PAM: pam, Code: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := NewSim(e).ScanCollect(SymbolsOfSeq(genome))
+		bRep := NewSim(h).ScanCollect(SymbolsOfSeq(genome))
+		if !reportsEqual(a, bRep) {
+			t.Fatalf("trial %d: edit(b=0) != hamming (%d vs %d reports)", trial, len(dedupReports(a)), len(dedupReports(bRep)))
+		}
+	}
+}
+
+func TestEditMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	pam := dna.MustParsePattern("NGG")
+	for trial := 0; trial < 15; trial++ {
+		m := 6 + rng.Intn(3)
+		k := rng.Intn(3)
+		b := 1 + rng.Intn(1) // bulge budget 1
+		spacer := dna.PatternFromSeq(randSeq(rng, m))
+		genome := randSeq(rng, 800)
+		e, err := CompileEdit(spacer, EditOptions{MaxMismatches: k, MaxBulge: b, PAM: pam, Code: int32(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		got := dedupReports(NewSim(e).ScanCollect(SymbolsOfSeq(genome)))
+		want := refEdit(genome, spacer, pam, k, b, int32(trial))
+		if !reportsEqual(got, want) {
+			t.Fatalf("trial %d (m=%d k=%d b=%d): got %d, want %d reports", trial, m, k, b, len(got), len(want))
+		}
+	}
+}
+
+func TestEditBulge2(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	pam := dna.MustParsePattern("NGG")
+	spacer := dna.PatternFromSeq(randSeq(rng, 7))
+	genome := randSeq(rng, 600)
+	e, err := CompileEdit(spacer, EditOptions{MaxMismatches: 1, MaxBulge: 2, PAM: pam, Code: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dedupReports(NewSim(e).ScanCollect(SymbolsOfSeq(genome)))
+	want := refEdit(genome, spacer, pam, 1, 2, 0)
+	if !reportsEqual(got, want) {
+		t.Fatalf("b=2: got %d, want %d reports", len(got), len(want))
+	}
+}
+
+func TestEditDetectsPlantedBulges(t *testing.T) {
+	// Hand-built: spacer ACGTACG; genome carries a deletion variant
+	// (ACG_ACG -> ACGACG) and an insertion variant (ACGTTACG), each
+	// followed by AGG.
+	spacer := dna.PatternFromSeq(dna.MustParseSeq("ACGTACG"))
+	pam := dna.MustParsePattern("NGG")
+	genome := dna.MustParseSeq("CCCACGACGAGGCCCCCCACGTTACGAGGCCC")
+	e, err := CompileEdit(spacer, EditOptions{MaxMismatches: 0, MaxBulge: 1, PAM: pam, Code: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dedupReports(NewSim(e).ScanCollect(SymbolsOfSeq(genome)))
+	if len(got) != 2 {
+		t.Fatalf("want 2 bulge sites, got %v", got)
+	}
+	// Hamming with k=0 must find neither.
+	h, _ := CompileHamming(spacer, CompileOptions{MaxMismatches: 0, PAM: pam, Code: 1})
+	if hits := NewSim(h).ScanCollect(SymbolsOfSeq(genome)); len(hits) != 0 {
+		t.Fatalf("hamming should not see bulge sites, got %v", hits)
+	}
+}
+
+func TestEditRejectsEdgeBulges(t *testing.T) {
+	// A deletion of the FIRST or LAST spacer base is an edge gap and
+	// must not produce a site.
+	spacer := dna.PatternFromSeq(dna.MustParseSeq("ACGTACG"))
+	pam := dna.MustParsePattern("NGG")
+	// delete first base: CGTACG + AGG ; delete last: ACGTAC + AGG
+	genome := dna.MustParseSeq("TTTCGTACGAGGTTTTTTACGTACAGGTTT")
+	e, err := CompileEdit(spacer, EditOptions{MaxMismatches: 0, MaxBulge: 1, PAM: pam, Code: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dedupReports(NewSim(e).ScanCollect(SymbolsOfSeq(genome)))
+	want := refEdit(genome, spacer, pam, 0, 1, 1)
+	if !reportsEqual(got, want) {
+		t.Fatalf("edge-bulge handling differs from oracle: got %v want %v", got, want)
+	}
+	for _, r := range got {
+		// End 11 would be the edge-deletion site ending at the first AGG
+		// with segment CGTACG; the oracle forbids it. Spot-check.
+		if r.End == 11 {
+			t.Errorf("edge deletion reported at %v", r)
+		}
+	}
+}
+
+func TestEditErrors(t *testing.T) {
+	sp := dna.PatternFromSeq(dna.MustParseSeq("ACGT"))
+	if _, err := CompileEdit(dna.Pattern{dna.MaskA}, EditOptions{}); err == nil {
+		t.Error("length-1 spacer must error")
+	}
+	if _, err := CompileEdit(sp, EditOptions{MaxMismatches: -1}); err == nil {
+		t.Error("negative k must error")
+	}
+	if _, err := CompileEdit(sp, EditOptions{MaxBulge: 4}); err == nil {
+		t.Error("bulge >= len must error")
+	}
+}

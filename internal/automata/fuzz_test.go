@@ -1,0 +1,84 @@
+package automata
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/dna"
+)
+
+// FuzzHammingAgainstOracle drives the compiler and simulator with
+// arbitrary spacer/genome bytes and cross-checks the positional oracle.
+func FuzzHammingAgainstOracle(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 1}, []byte{0, 1, 2, 3, 2, 2, 0, 1, 2, 3, 1, 2, 2}, uint8(1))
+	f.Add([]byte{3, 3, 3, 3}, []byte{3, 3, 3, 3, 0, 2, 2}, uint8(0))
+	f.Fuzz(func(t *testing.T, rawSpacer, rawGenome []byte, kRaw uint8) {
+		if len(rawSpacer) == 0 || len(rawSpacer) > 12 || len(rawGenome) > 4096 {
+			return
+		}
+		spacer := make(dna.Seq, len(rawSpacer))
+		for i, b := range rawSpacer {
+			spacer[i] = dna.Base(b % 4)
+		}
+		genome := make(dna.Seq, len(rawGenome))
+		for i, b := range rawGenome {
+			if b%17 == 0 {
+				genome[i] = dna.BadBase
+			} else {
+				genome[i] = dna.Base(b % 4)
+			}
+		}
+		k := int(kRaw) % (len(spacer) + 1)
+		pam := dna.MustParsePattern("NGG")
+		n, err := CompileHamming(dna.PatternFromSeq(spacer), CompileOptions{
+			MaxMismatches: k, PAM: pam, Code: 1,
+		})
+		if err != nil {
+			t.Fatalf("compile failed on valid input: %v", err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("invalid automaton: %v", err)
+		}
+		got := dedupReports(NewSim(n).ScanCollect(SymbolsOfSeq(genome)))
+		want := refHamming(genome, dna.PatternFromSeq(spacer), pam, k, 1)
+		if !reportsEqual(got, want) {
+			t.Fatalf("automaton %d reports, oracle %d (spacer=%s k=%d)", len(got), len(want), spacer, k)
+		}
+	})
+}
+
+// FuzzStride2Equivalence checks the 2-striding transform against the
+// stride-1 automaton on arbitrary inputs.
+func FuzzStride2Equivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, []byte{0, 1, 2, 3, 2, 2, 1})
+	f.Fuzz(func(t *testing.T, rawSpacer, rawGenome []byte) {
+		if len(rawSpacer) == 0 || len(rawSpacer) > 8 || len(rawGenome) > 2048 {
+			return
+		}
+		spacer := make(dna.Seq, len(rawSpacer))
+		for i, b := range rawSpacer {
+			spacer[i] = dna.Base(b % 4)
+		}
+		in := make([]uint8, len(rawGenome))
+		for i, b := range rawGenome {
+			if b%19 == 0 {
+				in[i] = DeadSymbol
+			} else {
+				in[i] = b % 4
+			}
+		}
+		n, err := CompileHamming(dna.PatternFromSeq(spacer), CompileOptions{MaxMismatches: 1, Code: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Multistride2(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dedupReports(NewSim(n).ScanCollect(in))
+		var got []Report
+		ScanStride2(NewSim(s2), in, func(r Report) { got = append(got, r) })
+		if !reportsEqual(dedupReports(got), want) {
+			t.Fatalf("stride-2 diverged (spacer=%s, %d vs %d reports)", spacer, len(got), len(want))
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MergeEquivalent applies the paper's prefix/suffix state-merging
+// optimization for spatial architectures: states that are activation-
+// equivalent are collapsed, reducing STE (and FPGA LUT) demand without
+// changing the reported language.
+//
+// Two merges are performed to a fixpoint:
+//
+//   - forward (prefix) merge: states with identical class, start kind,
+//     report codes, and identical predecessor sets are always active
+//     simultaneously, so they can be unified (their out-edges union).
+//     Across a union of per-guide automata this shares common guide
+//     prefixes, which is where most of the saving comes from.
+//   - backward (suffix) merge: states with identical class, start kind,
+//     report codes, and identical successor sets are interchangeable as
+//     edge targets, so they can be unified (their in-edges union).
+//
+// Both directions preserve the set of (report code, end position) events
+// exactly; TestMergePreservesLanguage checks this property.
+func MergeEquivalent(n *NFA) (*NFA, int) {
+	cur := n.Clone()
+	before := len(cur.States)
+	for {
+		merged, changedF := mergePass(cur, true)
+		merged, changedB := mergePass(merged, false)
+		cur = merged
+		if !changedF && !changedB {
+			break
+		}
+	}
+	return cur, before - len(cur.States)
+}
+
+// mergePass groups states by a signature that includes either their
+// predecessor set (forward) or successor set (backward) and collapses
+// each group to one representative.
+func mergePass(n *NFA, forward bool) (*NFA, bool) {
+	numStates := len(n.States)
+	preds := make([][]uint32, numStates)
+	if forward {
+		for i := range n.States {
+			for _, v := range n.States[i].Out {
+				preds[v] = append(preds[v], uint32(i))
+			}
+		}
+	}
+	sig := make(map[string]int32, numStates)
+	rep := make([]int32, numStates) // state -> representative
+	changed := false
+	for i := range n.States {
+		s := &n.States[i]
+		var neighbors []uint32
+		if forward {
+			neighbors = sortedOut(preds[i])
+		} else {
+			neighbors = sortedOut(s.Out)
+		}
+		key := makeSig(s, neighbors)
+		if r, ok := sig[key]; ok {
+			rep[i] = r
+			changed = true
+		} else {
+			sig[key] = int32(i)
+			rep[i] = int32(i)
+		}
+	}
+	if !changed {
+		return n, false
+	}
+	// Rebuild with representatives only.
+	out := New(n.Alphabet, n.Label)
+	remap := make([]int32, numStates)
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i := range n.States {
+		if rep[i] == int32(i) {
+			s := n.States[i]
+			s.Out = nil
+			remap[i] = int32(out.AddState(s))
+		}
+	}
+	seen := make(map[uint64]bool)
+	for i := range n.States {
+		from := remap[rep[i]]
+		for _, v := range n.States[i].Out {
+			to := remap[rep[v]]
+			key := uint64(from)<<32 | uint64(uint32(to))
+			if !seen[key] {
+				seen[key] = true
+				out.AddEdge(uint32(from), uint32(to))
+			}
+		}
+	}
+	return out, true
+}
+
+// makeSig builds the grouping signature: class, start kind, both report
+// codes, and the sorted neighbor list.
+func makeSig(s *State, neighbors []uint32) string {
+	buf := make([]byte, 0, 24+4*len(neighbors))
+	buf = appendUint64(buf, uint64(s.Class))
+	buf = append(buf, byte(s.Start))
+	buf = appendUint64(buf, uint64(uint32(s.Report)))
+	buf = appendUint64(buf, uint64(uint32(s.ReportMid)))
+	for _, v := range neighbors {
+		buf = appendUint64(buf, uint64(v))
+	}
+	return string(buf)
+}
+
+func appendUint64(buf []byte, v uint64) []byte {
+	return append(buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// CanonicalString renders the automaton in a deterministic textual form
+// for debugging and golden tests.
+func (n *NFA) CanonicalString() string {
+	var lines []string
+	for i := range n.States {
+		s := &n.States[i]
+		lines = append(lines, fmt.Sprintf("s%d class=%x start=%d rep=%d mid=%d out=%v",
+			i, uint64(s.Class), s.Start, s.Report, s.ReportMid, sortedOut(s.Out)))
+	}
+	sort.Strings(lines)
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}

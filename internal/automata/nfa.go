@@ -1,0 +1,325 @@
+// Package automata implements the paper's primary contribution: the
+// compilation of gRNA off-target search into homogeneous nondeterministic
+// finite automata, plus the transformations the paper proposes for
+// spatial architectures (prefix/suffix state merging, 2-striding) and a
+// bitset simulation engine that serves as the functional reference for
+// every platform model.
+//
+// The machine model is the ANML model of Micron's Automata Processor: a
+// homogeneous NFA, meaning the input character class lives on the state
+// (the AP's STE) rather than on the edge. A state becomes active at step
+// t+1 iff (one of its predecessors was active at step t, or it is a start
+// state) and its class contains input symbol t. This model maps one state
+// to one STE on the AP and to one LUT/FF pair in FPGA automata overlays,
+// which is why resource accounting in internal/ap and internal/fpga can
+// count NFA states directly.
+package automata
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"github.com/cap-repro/crisprscan/internal/dna"
+)
+
+// StartKind says when a state may self-activate.
+type StartKind uint8
+
+const (
+	// NoStart states activate only through in-edges.
+	NoStart StartKind = iota
+	// StartOfData states self-activate only for the first input symbol.
+	StartOfData
+	// AllInput states self-activate at every input position. Search
+	// automata use this so one pass tests every genome alignment.
+	AllInput
+)
+
+// NoReport marks a non-reporting state.
+const NoReport int32 = -1
+
+// Class is a character-class bitset over the NFA's alphabet (bit s set
+// means symbol s is accepted). Stride-1 DNA automata use alphabet size 4;
+// 2-strided automata use the 21-symbol pair alphabet (see stride.go).
+type Class uint64
+
+// HasSym reports whether symbol s is in the class.
+func (c Class) HasSym(s uint8) bool { return c&(1<<s) != 0 }
+
+// Count returns the number of symbols in the class.
+func (c Class) Count() int { return bits.OnesCount64(uint64(c)) }
+
+// ClassOfMask lifts a dna.Mask into a stride-1 Class.
+func ClassOfMask(m dna.Mask) Class { return Class(m) & 0xF }
+
+// State is one homogeneous-NFA state (equivalently, one AP STE).
+type State struct {
+	Class Class
+	Start StartKind
+	// Report is the report code emitted when this state activates
+	// (a match ends at the just-consumed symbol), or NoReport.
+	Report int32
+	// ReportMid is used by 2-strided automata: a report whose match
+	// actually ended one input symbol before the end of the consumed
+	// pair. NoReport otherwise.
+	ReportMid int32
+	// Out lists successor state indices.
+	Out []uint32
+}
+
+// NFA is a homogeneous nondeterministic finite automaton.
+type NFA struct {
+	// Alphabet is the number of input symbols (4 for stride-1 DNA).
+	Alphabet int
+	Label    string
+	States   []State
+}
+
+// New returns an empty NFA over the given alphabet.
+func New(alphabet int, label string) *NFA {
+	return &NFA{Alphabet: alphabet, Label: label}
+}
+
+// AddState appends a state and returns its index. Report codes must be
+// set explicitly (use NoReport for non-reporting states; code 0 is a
+// legal report code).
+func (n *NFA) AddState(s State) uint32 {
+	n.States = append(n.States, s)
+	return uint32(len(n.States) - 1)
+}
+
+// NewState returns a non-reporting state template with the given class
+// and start kind.
+func NewState(class Class, start StartKind) State {
+	return State{Class: class, Start: start, Report: NoReport, ReportMid: NoReport}
+}
+
+// AddEdge connects state u to state v.
+func (n *NFA) AddEdge(u, v uint32) {
+	n.States[u].Out = append(n.States[u].Out, v)
+}
+
+// NumStates returns the number of states.
+func (n *NFA) NumStates() int { return len(n.States) }
+
+// NumEdges returns the total number of edges.
+func (n *NFA) NumEdges() int {
+	e := 0
+	for i := range n.States {
+		e += len(n.States[i].Out)
+	}
+	return e
+}
+
+// Validate checks structural invariants: edge targets in range, classes
+// within the alphabet, at least one start and one reporting state.
+func (n *NFA) Validate() error {
+	if n.Alphabet <= 0 || n.Alphabet > 64 {
+		return fmt.Errorf("automata: alphabet size %d out of range", n.Alphabet)
+	}
+	limit := Class(1)<<uint(n.Alphabet) - 1
+	starts, reports := 0, 0
+	for i := range n.States {
+		s := &n.States[i]
+		if s.Class&^limit != 0 {
+			return fmt.Errorf("automata: state %d class %b exceeds alphabet %d", i, s.Class, n.Alphabet)
+		}
+		if s.Start != NoStart {
+			starts++
+		}
+		if s.Report != NoReport || s.ReportMid != NoReport {
+			reports++
+		}
+		for _, v := range s.Out {
+			if int(v) >= len(n.States) {
+				return fmt.Errorf("automata: state %d has edge to %d, out of range", i, v)
+			}
+		}
+	}
+	if len(n.States) == 0 {
+		return fmt.Errorf("automata: empty NFA")
+	}
+	if starts == 0 {
+		return fmt.Errorf("automata: no start states")
+	}
+	if reports == 0 {
+		return fmt.Errorf("automata: no reporting states")
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (n *NFA) Clone() *NFA {
+	out := &NFA{Alphabet: n.Alphabet, Label: n.Label, States: make([]State, len(n.States))}
+	for i, s := range n.States {
+		s.Out = append([]uint32(nil), s.Out...)
+		out.States[i] = s
+	}
+	return out
+}
+
+// Union appends the states of other into n (report codes are preserved,
+// so callers should namespace codes before union). Both NFAs must share
+// an alphabet.
+func (n *NFA) Union(other *NFA) error {
+	if n.Alphabet != other.Alphabet {
+		return fmt.Errorf("automata: union of alphabet %d with %d", n.Alphabet, other.Alphabet)
+	}
+	base := uint32(len(n.States))
+	for _, s := range other.States {
+		out := make([]uint32, len(s.Out))
+		for i, v := range s.Out {
+			out[i] = v + base
+		}
+		s.Out = out
+		n.States = append(n.States, s)
+	}
+	return nil
+}
+
+// UnionAll unions a set of NFAs into a single network.
+func UnionAll(label string, parts []*NFA) (*NFA, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("automata: UnionAll of nothing")
+	}
+	u := New(parts[0].Alphabet, label)
+	for _, p := range parts {
+		if err := u.Union(p); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+// Stats summarizes an automaton for resource accounting (STEs on the AP,
+// LUT/FF pairs on the FPGA) and for the E1 characterization table.
+type Stats struct {
+	States       int
+	Edges        int
+	StartStates  int
+	ReportStates int
+	MaxFanIn     int
+	MaxFanOut    int
+	AvgClassSize float64
+}
+
+// ComputeStats walks the automaton once.
+func (n *NFA) ComputeStats() Stats {
+	st := Stats{States: len(n.States)}
+	fanIn := make([]int, len(n.States))
+	classTotal := 0
+	for i := range n.States {
+		s := &n.States[i]
+		st.Edges += len(s.Out)
+		if len(s.Out) > st.MaxFanOut {
+			st.MaxFanOut = len(s.Out)
+		}
+		if s.Start != NoStart {
+			st.StartStates++
+		}
+		if s.Report != NoReport || s.ReportMid != NoReport {
+			st.ReportStates++
+		}
+		classTotal += s.Class.Count()
+		for _, v := range s.Out {
+			fanIn[v]++
+		}
+	}
+	for _, f := range fanIn {
+		if f > st.MaxFanIn {
+			st.MaxFanIn = f
+		}
+	}
+	if st.States > 0 {
+		st.AvgClassSize = float64(classTotal) / float64(st.States)
+	}
+	return st
+}
+
+// Trim removes states that are unreachable from a start state or that
+// cannot reach a reporting state, returning a new NFA and the number of
+// removed states. Report codes are untouched.
+func (n *NFA) Trim() (*NFA, int) {
+	fwd := make([]bool, len(n.States))
+	var stack []uint32
+	for i := range n.States {
+		if n.States[i].Start != NoStart {
+			fwd[i] = true
+			stack = append(stack, uint32(i))
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range n.States[u].Out {
+			if !fwd[v] {
+				fwd[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	// Reverse reachability to a reporting state.
+	preds := make([][]uint32, len(n.States))
+	for i := range n.States {
+		for _, v := range n.States[i].Out {
+			preds[v] = append(preds[v], uint32(i))
+		}
+	}
+	bwd := make([]bool, len(n.States))
+	stack = stack[:0]
+	for i := range n.States {
+		if n.States[i].Report != NoReport || n.States[i].ReportMid != NoReport {
+			bwd[i] = true
+			stack = append(stack, uint32(i))
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range preds[u] {
+			if !bwd[p] {
+				bwd[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	keep := make([]int32, len(n.States))
+	out := New(n.Alphabet, n.Label)
+	for i := range keep {
+		keep[i] = -1
+	}
+	for i := range n.States {
+		if fwd[i] && bwd[i] {
+			s := n.States[i]
+			s.Out = nil
+			keep[i] = int32(out.AddState(s))
+		}
+	}
+	for i := range n.States {
+		if keep[i] < 0 {
+			continue
+		}
+		for _, v := range n.States[i].Out {
+			if keep[v] >= 0 {
+				out.AddEdge(uint32(keep[i]), uint32(keep[v]))
+			}
+		}
+	}
+	return out, len(n.States) - len(out.States)
+}
+
+// sortedOut returns a sorted, deduplicated copy of a state's out list;
+// used by canonicalization and merging.
+func sortedOut(out []uint32) []uint32 {
+	c := append([]uint32(nil), out...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	w := 0
+	for i, v := range c {
+		if i == 0 || v != c[w-1] {
+			c[w] = v
+			w++
+		}
+	}
+	return c[:w]
+}

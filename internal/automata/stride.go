@@ -1,0 +1,249 @@
+package automata
+
+// 2-striding is one of the optimizations the paper proposes for spatial
+// architectures: the automaton consumes two DNA bases per clock, doubling
+// scan throughput at the cost of more states (roughly the original edge
+// count). This file implements the transformation for homogeneous NFAs
+// and a wrapper that runs a strided automaton over stride-1 input and
+// reports end positions in stride-1 coordinates.
+//
+// The pair alphabet has 25 symbols:
+//
+//	0..15   (c1,c2) both concrete: symbol = 4*c1 + c2
+//	16..19  (c1, dead/pad): first element concrete, second ambiguous
+//	20..23  (dead, c2): first element ambiguous, second concrete
+//	24      both ambiguous
+//
+// Ambiguous second elements must stay visible (a match can legitimately
+// end on the first element of a pair), and ambiguous first elements must
+// stay visible (a match can legitimately begin on the second element),
+// which is why the dead half-pairs are distinct symbols rather than one
+// dead symbol.
+const Stride2Alphabet = 25
+
+// PairSymbol encodes two stride-1 symbols as one stride-2 symbol.
+// Values >= 4 (including DeadSymbol) count as ambiguous.
+func PairSymbol(a, b uint8) uint8 {
+	aBad, bBad := a >= 4, b >= 4
+	switch {
+	case !aBad && !bBad:
+		return 4*a + b
+	case !aBad:
+		return 16 + a
+	case !bBad:
+		return 20 + b
+	default:
+		return 24
+	}
+}
+
+// PairSymbols converts a stride-1 symbol stream to the stride-2 stream,
+// padding an odd tail with an ambiguous second element.
+func PairSymbols(input []uint8) []uint8 {
+	out := make([]uint8, (len(input)+1)/2)
+	for i := 0; i+1 < len(input); i += 2 {
+		out[i/2] = PairSymbol(input[i], input[i+1])
+	}
+	if len(input)%2 == 1 {
+		out[len(out)-1] = PairSymbol(input[len(input)-1], DeadSymbol)
+	}
+	return out
+}
+
+// pairClass builds the class of an edge-state (u then v).
+func pairClass(u, v Class) Class {
+	var c Class
+	for c1 := uint8(0); c1 < 4; c1++ {
+		if !u.HasSym(c1) {
+			continue
+		}
+		for c2 := uint8(0); c2 < 4; c2++ {
+			if v.HasSym(c2) {
+				c |= 1 << (4*c1 + c2)
+			}
+		}
+	}
+	return c
+}
+
+// halfClassFirst builds the class of a state that only constrains the
+// first element of the pair (the second may be anything, including
+// ambiguous/pad).
+func halfClassFirst(u Class) Class {
+	var c Class
+	for c1 := uint8(0); c1 < 4; c1++ {
+		if !u.HasSym(c1) {
+			continue
+		}
+		for c2 := uint8(0); c2 < 4; c2++ {
+			c |= 1 << (4*c1 + c2)
+		}
+		c |= 1 << (16 + c1)
+	}
+	return c
+}
+
+// halfClassSecond builds the class of a state that only constrains the
+// second element of the pair.
+func halfClassSecond(v Class) Class {
+	var c Class
+	for c2 := uint8(0); c2 < 4; c2++ {
+		if !v.HasSym(c2) {
+			continue
+		}
+		for c1 := uint8(0); c1 < 4; c1++ {
+			c |= 1 << (4*c1 + c2)
+		}
+		c |= 1 << (20 + c2)
+	}
+	return c
+}
+
+// Multistride2 converts a stride-1 (alphabet-4) homogeneous NFA into an
+// equivalent stride-2 automaton over the pair alphabet. The construction
+// is the edge automaton: each new state represents "original state u
+// consumed the pair's first base, then v consumed its second"; two extra
+// state families handle matches that end mid-pair (H states, ReportMid)
+// and matches that begin mid-pair (B states).
+//
+// StartOfData originals only yield pair-aligned starts, so anchored
+// automata remain anchored. Reports carry the original codes; use
+// ScanStride2 to map end positions back to stride-1 coordinates.
+func Multistride2(n *NFA) (*NFA, error) {
+	if n.Alphabet != 4 {
+		return nil, errNotStride1
+	}
+	out := New(Stride2Alphabet, n.Label+"/stride2")
+
+	type pairKey struct{ u, v int32 } // v == -1 encodes H(u); u == -1 encodes B(v)
+	ids := make(map[pairKey]uint32)
+
+	getE := func(u, v int32) uint32 {
+		key := pairKey{u, v}
+		if id, ok := ids[key]; ok {
+			return id
+		}
+		su, sv := &n.States[u], &n.States[v]
+		st := NewState(pairClass(su.Class, sv.Class), su.Start)
+		if sv.Report != NoReport {
+			st.Report = sv.Report
+		}
+		if su.Report != NoReport {
+			st.ReportMid = su.Report
+		}
+		id := out.AddState(st)
+		ids[key] = id
+		return id
+	}
+	getH := func(u int32) uint32 {
+		key := pairKey{u, -1}
+		if id, ok := ids[key]; ok {
+			return id
+		}
+		su := &n.States[u]
+		st := NewState(halfClassFirst(su.Class), su.Start)
+		st.ReportMid = su.Report
+		id := out.AddState(st)
+		ids[key] = id
+		return id
+	}
+	getB := func(v int32) uint32 {
+		key := pairKey{-1, v}
+		if id, ok := ids[key]; ok {
+			return id
+		}
+		sv := &n.States[v]
+		st := NewState(halfClassSecond(sv.Class), AllInput)
+		if sv.Report != NoReport {
+			st.Report = sv.Report
+		}
+		id := out.AddState(st)
+		ids[key] = id
+		return id
+	}
+
+	// Materialize all states. E states exist per original edge; H per
+	// reporting state that something leads into (or that starts); B per
+	// AllInput start state.
+	indeg := make([]int, len(n.States))
+	for u := range n.States {
+		for _, v := range n.States[u].Out {
+			indeg[v]++
+		}
+	}
+	for u := range n.States {
+		su := &n.States[u]
+		reachable := su.Start != NoStart || indeg[u] > 0
+		for _, v := range su.Out {
+			if reachable {
+				getE(int32(u), int32(v))
+			}
+		}
+		if su.Report != NoReport && reachable {
+			getH(int32(u))
+		}
+		if su.Start == AllInput {
+			getB(int32(u))
+		}
+	}
+
+	// Wire edges: a state whose second component is b feeds every E(u,v)
+	// and H(u) with u in Out(b).
+	connect := func(fromID uint32, b int32) {
+		for _, u := range n.States[b].Out {
+			su := &n.States[u]
+			for _, v := range su.Out {
+				out.AddEdge(fromID, getE(int32(u), int32(v)))
+			}
+			if su.Report != NoReport {
+				out.AddEdge(fromID, getH(int32(u)))
+			}
+		}
+	}
+	// Iterate over a snapshot of the id map; connect may add states (all
+	// reachable targets were materialized above, so getE/getH inside
+	// connect only look up existing ids for valid automata, but be
+	// permissive and loop until stable).
+	done := make(map[pairKey]bool)
+	for {
+		progress := false
+		for key, id := range ids {
+			if done[key] {
+				continue
+			}
+			done[key] = true
+			progress = true
+			switch {
+			case key.v == -1: // H(u): match ended, no continuation
+			case key.u == -1: // B(v): second component v
+				connect(id, key.v)
+			default: // E(u,v)
+				connect(id, key.v)
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	trimmed, _ := out.Trim()
+	return trimmed, nil
+}
+
+var errNotStride1 = errorString("automata: Multistride2 requires a stride-1 (alphabet 4) NFA")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// ScanStride2 runs a stride-2 automaton over stride-1 input symbols and
+// emits reports with End in stride-1 coordinates.
+func ScanStride2(sim *Sim, input []uint8, emit func(Report)) {
+	pairs := PairSymbols(input)
+	sim.Scan(pairs, func(r Report) {
+		if r.Mid {
+			emit(Report{Code: r.Code, End: 2 * r.End})
+		} else {
+			emit(Report{Code: r.Code, End: 2*r.End + 1})
+		}
+	})
+}

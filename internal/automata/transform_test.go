@@ -1,0 +1,196 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/dna"
+)
+
+func buildGuideUnion(t *testing.T, rng *rand.Rand, guides int, m, k int, pam dna.Pattern) *NFA {
+	t.Helper()
+	var parts []*NFA
+	for g := 0; g < guides; g++ {
+		spacer := dna.PatternFromSeq(randSeq(rng, m))
+		n, err := CompileHamming(spacer, CompileOptions{MaxMismatches: k, PAM: pam, Code: int32(g)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, n)
+	}
+	u, err := UnionAll("guides", parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestMergePreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pam := dna.MustParsePattern("NGG")
+	for trial := 0; trial < 10; trial++ {
+		u := buildGuideUnion(t, rng, 5, 7, 1+rng.Intn(2), pam)
+		merged, saved := MergeEquivalent(u)
+		if saved <= 0 {
+			t.Errorf("trial %d: expected some merging in a guide union, saved=%d", trial, saved)
+		}
+		if err := merged.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		genome := randSeq(rng, 2000)
+		a := NewSim(u).ScanCollect(SymbolsOfSeq(genome))
+		b := NewSim(merged).ScanCollect(SymbolsOfSeq(genome))
+		if !reportsEqual(a, b) {
+			t.Fatalf("trial %d: merge changed the language (%d vs %d reports)",
+				trial, len(dedupReports(a)), len(dedupReports(b)))
+		}
+	}
+}
+
+func TestMergeSharesPrefixes(t *testing.T) {
+	// Two guides with a long common prefix must share more states than
+	// two unrelated guides.
+	pam := dna.MustParsePattern("NGG")
+	mk := func(a, b string) int {
+		na, _ := CompileHamming(dna.PatternFromSeq(dna.MustParseSeq(a)), CompileOptions{MaxMismatches: 1, PAM: pam, Code: 0})
+		nb, _ := CompileHamming(dna.PatternFromSeq(dna.MustParseSeq(b)), CompileOptions{MaxMismatches: 1, PAM: pam, Code: 1})
+		u, _ := UnionAll("u", []*NFA{na, nb})
+		merged, _ := MergeEquivalent(u)
+		return merged.NumStates()
+	}
+	shared := mk("ACGTACGTAC", "ACGTACGTTT")
+	unrelated := mk("ACGTACGTAC", "TGCATGCATG")
+	if shared >= unrelated {
+		t.Errorf("common-prefix union should merge more: shared=%d unrelated=%d", shared, unrelated)
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	u := buildGuideUnion(t, rng, 4, 8, 2, dna.MustParsePattern("NGG"))
+	m1, _ := MergeEquivalent(u)
+	m2, saved := MergeEquivalent(m1)
+	if saved != 0 {
+		t.Errorf("second merge saved %d states; merge must reach a fixpoint", saved)
+	}
+	if m1.CanonicalString() != m2.CanonicalString() {
+		t.Error("second merge changed the automaton")
+	}
+}
+
+func TestPairSymbol(t *testing.T) {
+	if PairSymbol(0, 0) != 0 || PairSymbol(3, 3) != 15 || PairSymbol(1, 2) != 6 {
+		t.Error("concrete pair encoding wrong")
+	}
+	if PairSymbol(2, DeadSymbol) != 18 {
+		t.Error("(concrete, dead) encoding wrong")
+	}
+	if PairSymbol(DeadSymbol, 1) != 21 {
+		t.Error("(dead, concrete) encoding wrong")
+	}
+	if PairSymbol(DeadSymbol, DeadSymbol) != 24 {
+		t.Error("(dead, dead) encoding wrong")
+	}
+}
+
+func TestPairSymbolsOddPadding(t *testing.T) {
+	got := PairSymbols([]uint8{0, 1, 2})
+	if len(got) != 2 || got[0] != 1 || got[1] != 16+2 {
+		t.Errorf("PairSymbols odd input = %v", got)
+	}
+}
+
+func TestMultistride2Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pam := dna.MustParsePattern("NGG")
+	for trial := 0; trial < 12; trial++ {
+		m := 5 + rng.Intn(5)
+		k := rng.Intn(3)
+		spacer := dna.PatternFromSeq(randSeq(rng, m))
+		n, err := CompileHamming(spacer, CompileOptions{MaxMismatches: k, PAM: pam, Code: int32(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Multistride2(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Both even and odd genome lengths, with some ambiguity.
+		for _, glen := range []int{1000, 1001} {
+			genome := randSeq(rng, glen)
+			for i := 0; i < 10; i++ {
+				genome[rng.Intn(glen)] = dna.BadBase
+			}
+			in := SymbolsOfSeq(genome)
+			want := NewSim(n).ScanCollect(in)
+			var got []Report
+			ScanStride2(NewSim(s2), in, func(r Report) { got = append(got, r) })
+			if !reportsEqual(got, want) {
+				t.Fatalf("trial %d glen %d: stride-2 mismatch (%d vs %d reports)",
+					trial, glen, len(dedupReports(got)), len(dedupReports(want)))
+			}
+		}
+	}
+}
+
+func TestMultistride2Union(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	u := buildGuideUnion(t, rng, 6, 7, 2, dna.MustParsePattern("NGG"))
+	s2, err := Multistride2(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genome := randSeq(rng, 4000)
+	in := SymbolsOfSeq(genome)
+	want := NewSim(u).ScanCollect(in)
+	var got []Report
+	ScanStride2(NewSim(s2), in, func(r Report) { got = append(got, r) })
+	if !reportsEqual(got, want) {
+		t.Fatalf("stride-2 union mismatch (%d vs %d)", len(dedupReports(got)), len(dedupReports(want)))
+	}
+}
+
+func TestMultistride2RequiresStride1(t *testing.T) {
+	n := New(16, "x")
+	if _, err := Multistride2(n); err == nil {
+		t.Error("expected error for non-stride-1 input")
+	}
+}
+
+func TestMultistride2StateGrowthBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	spacer := dna.PatternFromSeq(randSeq(rng, 20))
+	n, _ := CompileHamming(spacer, CompileOptions{MaxMismatches: 3, PAM: dna.MustParsePattern("NGG"), Code: 0})
+	s2, err := Multistride2(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(s2.NumStates()) / float64(n.NumStates())
+	if ratio > 4.0 {
+		t.Errorf("stride-2 blowup %.2fx exceeds expected bound (<= ~edge count)", ratio)
+	}
+}
+
+func TestActivityTrace(t *testing.T) {
+	spacer := dna.PatternFromSeq(dna.MustParseSeq("ACGT"))
+	n, _ := CompileHamming(spacer, CompileOptions{MaxMismatches: 1, Code: 0})
+	genome := dna.MustParseSeq("ACGTACGT")
+	trace := NewSim(n).ActivityTrace(SymbolsOfSeq(genome))
+	if len(trace) != 8 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	for i, c := range trace {
+		if c <= 0 {
+			t.Errorf("position %d: zero active states on a matching stream", i)
+		}
+	}
+	// Dead symbols zero out activity.
+	genome[3] = dna.BadBase
+	trace = NewSim(n).ActivityTrace(SymbolsOfSeq(genome))
+	if trace[3] != 0 {
+		t.Errorf("dead symbol should clear activity, got %d", trace[3])
+	}
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// microScale keeps harness tests fast.
+var microScale = Scale{
+	Name: "micro", GenomeLen: 60_000,
+	GenomeSet: []int{30_000, 60_000},
+	GuideSet:  []int{2, 4}, Guides: 3,
+	KSet: []int{1, 2}, K: 1,
+}
+
+func TestNewWorkloadDeterministic(t *testing.T) {
+	a := NewWorkload(50_000, 5, 2, 9)
+	b := NewWorkload(50_000, 5, 2, 9)
+	if a.Genome.TotalLen() != 50_000 || len(a.Guides) != 5 {
+		t.Fatalf("workload shape wrong: %d bp, %d guides", a.Genome.TotalLen(), len(a.Guides))
+	}
+	for i := range a.Guides {
+		if a.Guides[i].String() != b.Guides[i].String() {
+			t.Fatal("same seed must give same guides")
+		}
+	}
+	if len(a.Specs()) != 10 {
+		t.Fatalf("specs = %d, want 10 (both strands)", len(a.Specs()))
+	}
+}
+
+func TestNewWorkloadTinyGenomeFallsBack(t *testing.T) {
+	w := NewWorkload(500, 50, 1, 3)
+	if len(w.Guides) != 50 {
+		t.Fatalf("expected random-guide fallback to fill the set, got %d", len(w.Guides))
+	}
+}
+
+func TestAllSystemsShape(t *testing.T) {
+	w := NewWorkload(microScale.GenomeLen, microScale.Guides, microScale.K, 77)
+	systems, err := AllSystems(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(systems) != 6 {
+		t.Fatalf("want the paper's 6 systems, got %d", len(systems))
+	}
+	measured, modeled := 0, 0
+	for _, s := range systems {
+		if s.Seconds <= 0 {
+			t.Errorf("%s: non-positive time", s.Name)
+		}
+		if s.Modeled {
+			modeled++
+		} else {
+			measured++
+		}
+	}
+	if measured != 2 || modeled != 4 {
+		t.Errorf("measured/modeled split = %d/%d, want 2/4", measured, modeled)
+	}
+}
+
+func TestSliceWorkload(t *testing.T) {
+	w := NewWorkload(100_000, 2, 1, 5)
+	sub, scale := sliceWorkload(w, 10_000)
+	if sub.Genome.TotalLen() != 10_000 || scale != 10 {
+		t.Fatalf("slice: %d bp, scale %f", sub.Genome.TotalLen(), scale)
+	}
+	same, scale1 := sliceWorkload(w, 200_000)
+	if same != w || scale1 != 1 {
+		t.Fatal("under-cap workload must pass through")
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, id := range Order {
+		t.Run("E"+id, func(t *testing.T) {
+			tab, err := Experiments[id](microScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Fatalf("row width %d != header %d: %v", len(row), len(tab.Header), row)
+				}
+			}
+			var buf bytes.Buffer
+			if err := tab.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), "== E"+id) {
+				t.Error("render missing banner")
+			}
+		})
+	}
+}
+
+func TestRunAndRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("9", microScale, &buf, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run("nope", microScale, &buf, false); err == nil {
+		t.Error("unknown experiment must error")
+	}
+	var csv bytes.Buffer
+	if err := Run("1", microScale, &csv, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "k,") {
+		t.Errorf("csv output wrong: %q", csv.String())
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b"}, Rows: [][]string{{`x,y`, `q"z`}}}
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"x,y","q""z"`) {
+		t.Errorf("quoting wrong: %q", buf.String())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0) != "0" || I(7) != "7" || X(2.04) != "2.0x" {
+		t.Error("formatters wrong")
+	}
+	if !strings.Contains(F(0.0000005), "e-") {
+		t.Errorf("tiny float formatting: %s", F(0.0000005))
+	}
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"math"
+	"sort"
+
+	"github.com/cap-repro/crisprscan/internal/arch"
+)
+
+// Sample summarizes repeated measurements. Wall-clock measurements on a
+// shared host are noisy; the harness reports the median (robust to
+// scheduler spikes) and the median absolute deviation.
+type Sample struct {
+	N      int
+	Median float64
+	MAD    float64 // median absolute deviation
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes the sample statistics.
+func Summarize(values []float64) Sample {
+	if len(values) == 0 {
+		return Sample{}
+	}
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	s := Sample{N: len(v), Median: median(v), Min: v[0], Max: v[len(v)-1]}
+	devs := make([]float64, len(v))
+	for i, x := range v {
+		devs[i] = math.Abs(x - s.Median)
+	}
+	sort.Float64s(devs)
+	s.MAD = median(devs)
+	return s
+}
+
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// MeasureRepeated measures an engine several times and returns the
+// summary. The first (warm-up) run is discarded when reps > 1, so cache
+// and allocator warm-up do not skew the median.
+func MeasureRepeated(w *Workload, e arch.Engine, reps int) (Sample, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var times []float64
+	runs := reps
+	if reps > 1 {
+		runs++ // warm-up
+	}
+	for i := 0; i < runs; i++ {
+		sec, _, err := MeasureEngine(w, e)
+		if err != nil {
+			return Sample{}, err
+		}
+		if reps > 1 && i == 0 {
+			continue
+		}
+		times = append(times, sec)
+	}
+	return Summarize(times), nil
+}

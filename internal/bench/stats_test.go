@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/core"
+	"github.com/cap-repro/crisprscan/internal/hscan"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.N != 3 || s.Median != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("sample = %+v", s)
+	}
+	if s.MAD != 1 {
+		t.Errorf("MAD = %f, want 1", s.MAD)
+	}
+	even := Summarize([]float64{1, 2, 3, 4})
+	if even.Median != 2.5 {
+		t.Errorf("even median = %f", even.Median)
+	}
+	if (Summarize(nil) != Sample{}) {
+		t.Error("empty sample must be zero")
+	}
+}
+
+func TestSummarizeConstant(t *testing.T) {
+	s := Summarize([]float64{5, 5, 5, 5})
+	if s.Median != 5 || s.MAD != 0 {
+		t.Errorf("constant sample: %+v", s)
+	}
+}
+
+func TestMeasureRepeated(t *testing.T) {
+	w := NewWorkload(40_000, 2, 1, 777)
+	specs := core.BuildSpecs(w.Guides, w.PAM, 1, false)
+	e, err := hscan.New(specs, hscan.ModePrefilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := MeasureRepeated(w, e, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || s.Median <= 0 || s.Min > s.Median || s.Median > s.Max {
+		t.Errorf("sample = %+v", s)
+	}
+	one, err := MeasureRepeated(w, e, 0) // clamps to 1, no warm-up
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.N != 1 {
+		t.Errorf("reps=0 should clamp to one run, got %d", one.N)
+	}
+}

@@ -1,0 +1,47 @@
+package casoffinder
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/dna"
+	"github.com/cap-repro/crisprscan/internal/genome"
+)
+
+func TestBulgeScanErrors(t *testing.T) {
+	c := &genome.Chromosome{Name: "t", Seq: dna.MustParseSeq("ACGT")}
+	if _, err := BulgeScan(c, nil, BulgeOptions{PAM: dna.MustParsePattern("NGG")}); err == nil {
+		t.Error("no specs must error")
+	}
+	specs := []BulgeSpec{{Spacer: dna.MustParsePattern("ACGT"), Guide: 0}}
+	if _, err := BulgeScan(c, specs, BulgeOptions{}); err == nil {
+		t.Error("missing PAM must error")
+	}
+	ragged := append(specs, BulgeSpec{Spacer: dna.MustParsePattern("ACGTA"), Guide: 1})
+	if _, err := BulgeScan(c, ragged, BulgeOptions{PAM: dna.MustParsePattern("NGG")}); err == nil {
+		t.Error("ragged specs must error")
+	}
+}
+
+func TestBulgeScanFindsPlanted(t *testing.T) {
+	g := genome.Synthesize(genome.SynthConfig{Seed: 170, ChromLen: 20000})
+	guide := dna.MustParseSeq("GACGCATAAAGATGAGACGC")
+	del := append(append(dna.Seq{}, guide[:10]...), guide[11:]...)
+	del = append(del, dna.MustParseSeq("AGG")...)
+	c := &g.Chroms[0]
+	copy(c.Seq[500:], del)
+	c.Packed = dna.Pack(c.Seq)
+	hits, err := BulgeScan(c, []BulgeSpec{{Spacer: dna.PatternFromSeq(guide), Guide: 0}},
+		BulgeOptions{MaxMismatches: 0, MaxBulge: 1, PAM: dna.MustParsePattern("NGG")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range hits {
+		if h.Pos == 500 && h.Bulges == 1 && h.Strand == '+' {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted deletion not found: %+v", hits)
+	}
+}

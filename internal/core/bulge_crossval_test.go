@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/casoffinder"
+	"github.com/cap-repro/crisprscan/internal/dna"
+	"github.com/cap-repro/crisprscan/internal/genome"
+)
+
+// TestBulgeCrossValidation is the two-implementation check: the
+// brute-force PAM-anchored DP search (casoffinder.BulgeScan) and the
+// edit-automata search (SearchBulge) must agree on the site set. Two
+// independent implementations of the same semantics guard each other.
+func TestBulgeCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 4; trial++ {
+		g := genome.Synthesize(genome.SynthConfig{Seed: 160 + int64(trial), ChromLen: 30000})
+		var guides []dna.Pattern
+		var specs []casoffinder.BulgeSpec
+		for i := 0; i < 3; i++ {
+			spacer := make(dna.Seq, 9)
+			for j := range spacer {
+				spacer[j] = dna.Base(rng.Intn(4))
+			}
+			p := dna.PatternFromSeq(spacer)
+			guides = append(guides, p)
+			specs = append(specs, casoffinder.BulgeSpec{Spacer: p, Guide: i})
+		}
+		opt := casoffinder.BulgeOptions{MaxMismatches: 1 + rng.Intn(2), MaxBulge: 1, PAM: dna.MustParsePattern("NGG")}
+
+		auto, err := SearchBulge(g, guides, BulgeParams{
+			MaxMismatches: opt.MaxMismatches, MaxBulge: opt.MaxBulge,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute, err := casoffinder.BulgeScan(&g.Chroms[0], specs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare as distinct window-end positions per guide+strand: the
+		// brute force enumerates every feasible window per PAM anchor,
+		// while the automata path resolves one window per event.
+		autoSet := map[string]bool{}
+		for _, s := range auto {
+			autoSet[fmt.Sprintf("%d:%d:%c", s.Guide, s.Pos+s.Len-1, s.Strand)] = true
+		}
+		bruteSet := map[string]bool{}
+		for _, h := range brute {
+			bruteSet[fmt.Sprintf("%d:%d:%c", h.Guide, h.Pos+h.Len-1, h.Strand)] = true
+		}
+		for key := range bruteSet {
+			if !autoSet[key] {
+				t.Fatalf("trial %d: brute-force site %s missed by automata", trial, key)
+			}
+		}
+		for key := range autoSet {
+			if !bruteSet[key] {
+				t.Fatalf("trial %d: automata site %s not confirmed by brute force", trial, key)
+			}
+		}
+	}
+}

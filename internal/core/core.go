@@ -1,0 +1,305 @@
+// Package core orchestrates the off-target search: it expands guides
+// into both-strand pattern specs, instantiates the requested execution
+// engine (measured CPU engines or modeled accelerator platforms),
+// drives the scan across chromosomes, and resolves events into verified
+// sites. This is the layer the public crisprscan API wraps.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/cap-repro/crisprscan/internal/ap"
+	"github.com/cap-repro/crisprscan/internal/arch"
+	"github.com/cap-repro/crisprscan/internal/automata"
+	"github.com/cap-repro/crisprscan/internal/casoffinder"
+	"github.com/cap-repro/crisprscan/internal/casot"
+	"github.com/cap-repro/crisprscan/internal/dna"
+	"github.com/cap-repro/crisprscan/internal/fpga"
+	"github.com/cap-repro/crisprscan/internal/genome"
+	"github.com/cap-repro/crisprscan/internal/hscan"
+	"github.com/cap-repro/crisprscan/internal/infant"
+	"github.com/cap-repro/crisprscan/internal/report"
+)
+
+// EngineKind selects the execution platform.
+type EngineKind string
+
+// The six systems of the paper's evaluation, plus auxiliary variants.
+const (
+	// EngineHyperscan is the measured CPU automata engine, using the
+	// HyperScan-style literal-prefilter hybrid path.
+	EngineHyperscan EngineKind = "hyperscan"
+	// EngineHyperscanBitap, EngineHyperscanNFA and EngineHyperscanDFA
+	// select its alternative execution paths.
+	EngineHyperscanBitap EngineKind = "hyperscan-bitap"
+	EngineHyperscanNFA   EngineKind = "hyperscan-nfa"
+	EngineHyperscanDFA   EngineKind = "hyperscan-dfa"
+	EngineHyperscanLazy  EngineKind = "hyperscan-lazydfa"
+	// EngineCasOffinder is the measured CPU form of the brute-force
+	// baseline; EngineCasOffinderGPU adds the analytic GPU timing model.
+	EngineCasOffinder    EngineKind = "cas-offinder"
+	EngineCasOffinderGPU EngineKind = "cas-offinder-gpu"
+	// EngineCasOT is the measured single-thread baseline;
+	// EngineCasOTIndex its seed-index variant.
+	EngineCasOT      EngineKind = "casot"
+	EngineCasOTIndex EngineKind = "casot-index"
+	// EngineAP, EngineFPGA and EngineInfant are the modeled accelerator
+	// platforms.
+	EngineAP     EngineKind = "ap"
+	EngineFPGA   EngineKind = "fpga"
+	EngineInfant EngineKind = "infant2"
+)
+
+// AllEngines lists every selectable engine kind.
+var AllEngines = []EngineKind{
+	EngineHyperscan, EngineHyperscanBitap, EngineHyperscanNFA, EngineHyperscanDFA,
+	EngineHyperscanLazy,
+	EngineCasOffinder, EngineCasOffinderGPU,
+	EngineCasOT, EngineCasOTIndex,
+	EngineAP, EngineFPGA, EngineInfant,
+}
+
+// Params configures a search.
+type Params struct {
+	// MaxMismatches is the spacer Hamming budget k.
+	MaxMismatches int
+	// PAM is the IUPAC PAM string (default NGG).
+	PAM string
+	// AltPAMs lists additional accepted PAM patterns (for example NAG
+	// alongside NGG); each must have the same length as PAM.
+	AltPAMs []string
+	// PAM5 places the PAM 5' of the spacer on the plus strand — the
+	// Cas12a/Cpf1 geometry (e.g. PAM "TTTV"). Default is Cas9's 3' PAM.
+	PAM5 bool
+	// Region restricts the search to "chrom" or "chrom:start-end"
+	// (0-based half-open). Only windows entirely inside the region are
+	// reported; positions stay in full-chromosome coordinates.
+	Region string
+	// PlusStrandOnly restricts the search to the forward strand
+	// (both strands is the default and the paper's setting).
+	PlusStrandOnly bool
+	// Engine selects the platform (default EngineHyperscan).
+	Engine EngineKind
+	// Workers sets data-parallel width for engines that support it
+	// (default 1, matching the paper's single-thread CPU baselines).
+	Workers int
+	// SeedLen / MaxSeedMismatches configure CasOT's seed constraint.
+	// Zero values mean "no seed constraint" (seed budget = k), the
+	// setting under which all engines return identical sites.
+	SeedLen           int
+	MaxSeedMismatches int
+	// MergeStates / Stride2 toggle the spatial-platform optimizations.
+	MergeStates bool
+	Stride2     bool
+}
+
+func (p *Params) defaults() {
+	if p.PAM == "" {
+		p.PAM = "NGG"
+	}
+	if p.Engine == "" {
+		p.Engine = EngineHyperscan
+	}
+	if p.Workers <= 0 {
+		p.Workers = 1
+	}
+}
+
+// Stats describes one search execution.
+type Stats struct {
+	Engine string
+	// ElapsedSec is measured wall-clock for the scan (all engines run
+	// functionally; for modeled platforms this is simulation time, not
+	// device time).
+	ElapsedSec float64
+	// Events is the raw match-event count before deduplication.
+	Events int
+	// Modeled holds the analytic device-time breakdown for modeled
+	// platforms (nil for measured engines).
+	Modeled *arch.Breakdown
+	// Resources holds spatial resource usage for modeled platforms.
+	Resources *arch.ResourceUsage
+}
+
+// Result is a completed search.
+type Result struct {
+	Sites []report.Site
+	Stats Stats
+}
+
+// BuildSpecs expands guides into engine pattern specs: one plus-strand
+// spec per guide and, unless plusOnly, one minus-strand spec whose
+// window is the reverse complement with the PAM side flipped. Codes
+// follow report.CodeFor.
+func BuildSpecs(guides []dna.Pattern, pam dna.Pattern, k int, plusOnly bool) []arch.PatternSpec {
+	return BuildSpecsOriented(guides, pam, k, plusOnly, false)
+}
+
+// BuildSpecsOriented is BuildSpecs with a selectable plus-strand PAM
+// side: pam5 = true compiles Cas12a-style patterns whose PAM precedes
+// the spacer.
+func BuildSpecsOriented(guides []dna.Pattern, pam dna.Pattern, k int, plusOnly, pam5 bool) []arch.PatternSpec {
+	var specs []arch.PatternSpec
+	for gi, g := range guides {
+		plus := arch.PatternSpec{Spacer: g, PAM: pam, PAMLeft: pam5, K: k, Code: report.CodeFor(gi, '+')}
+		specs = append(specs, plus)
+		if !plusOnly {
+			specs = append(specs, plus.MinusSpec(report.CodeFor(gi, '-')))
+		}
+	}
+	return specs
+}
+
+// NewEngine instantiates the requested engine for the spec set.
+func NewEngine(kind EngineKind, specs []arch.PatternSpec, p Params) (arch.Engine, error) {
+	switch kind {
+	case EngineHyperscan, EngineHyperscanBitap, EngineHyperscanNFA, EngineHyperscanDFA, EngineHyperscanLazy:
+		mode := hscan.ModePrefilter
+		switch kind {
+		case EngineHyperscanBitap:
+			mode = hscan.ModeBitap
+		case EngineHyperscanNFA:
+			mode = hscan.ModeNFA
+		case EngineHyperscanDFA:
+			mode = hscan.ModeDFA
+		case EngineHyperscanLazy:
+			mode = hscan.ModeLazyDFA
+		}
+		e, err := hscan.New(specs, mode)
+		if err != nil {
+			return nil, err
+		}
+		e.Parallelism = p.Workers
+		return e, nil
+	case EngineCasOffinder:
+		return casoffinder.New(specs, p.Workers)
+	case EngineCasOffinderGPU:
+		return casoffinder.NewGPUModel(specs, casoffinder.DefaultGPU)
+	case EngineCasOT, EngineCasOTIndex:
+		opt := casot.Options{SeedLen: p.SeedLen, MaxSeedMismatches: p.MaxSeedMismatches}
+		if opt.SeedLen == 0 {
+			// No seed constraint: budgets equal the total budget so the
+			// constraint is inert.
+			opt.MaxSeedMismatches = p.MaxMismatches
+		}
+		if kind == EngineCasOTIndex {
+			if opt.SeedLen == 0 {
+				opt.SeedLen = min(12, len(specs[0].Spacer))
+			}
+			return casot.NewIndex(specs, opt)
+		}
+		return casot.New(specs, opt)
+	case EngineAP:
+		return ap.Compile(specs, ap.Options{MergeStates: p.MergeStates, Stride2: p.Stride2})
+	case EngineFPGA:
+		return fpga.Compile(specs, fpga.Options{MergeStates: p.MergeStates, Stride2: p.Stride2})
+	case EngineInfant:
+		return infant.Compile(specs, infant.Options{MergeStates: p.MergeStates})
+	}
+	return nil, fmt.Errorf("core: unknown engine %q", kind)
+}
+
+// prepare validates params and builds the engine and resolver shared by
+// Search and SearchStream.
+func prepare(guides []dna.Pattern, p *Params) (arch.Engine, *report.Resolver, error) {
+	p.defaults()
+	if len(guides) == 0 {
+		return nil, nil, fmt.Errorf("core: no guides")
+	}
+	pam, err := dna.ParsePattern(p.PAM)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.MaxMismatches < 0 || p.MaxMismatches > len(guides[0]) {
+		return nil, nil, fmt.Errorf("core: mismatch budget %d out of range", p.MaxMismatches)
+	}
+	pams := []dna.Pattern{pam}
+	for _, alt := range p.AltPAMs {
+		ap, err := dna.ParsePattern(alt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(ap) != len(pam) {
+			return nil, nil, fmt.Errorf("core: alternative PAM %s length differs from %s", alt, p.PAM)
+		}
+		pams = append(pams, ap)
+	}
+	var specs []arch.PatternSpec
+	for _, pm := range pams {
+		specs = append(specs, BuildSpecsOriented(guides, pm, p.MaxMismatches, p.PlusStrandOnly, p.PAM5)...)
+	}
+	engine, err := NewEngine(p.Engine, specs, *p)
+	if err != nil {
+		return nil, nil, err
+	}
+	resolver, err := report.NewResolverOriented(guides, p.PAM5, pams...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return engine, resolver, nil
+}
+
+// Search runs the full pipeline and returns verified, deduplicated,
+// sorted sites.
+func Search(g *genome.Genome, guides []dna.Pattern, p Params) (*Result, error) {
+	engine, resolver, err := prepare(guides, &p)
+	if err != nil {
+		return nil, err
+	}
+	offset := 0
+	if p.Region != "" {
+		region, err := ParseRegion(p.Region)
+		if err != nil {
+			return nil, err
+		}
+		g, offset, err = region.Slice(g)
+		if err != nil {
+			return nil, err
+		}
+	}
+	col := report.NewCollector(resolver)
+	events := 0
+	start := time.Now()
+	for ci := range g.Chroms {
+		c := &g.Chroms[ci]
+		var scanErr error
+		err := engine.ScanChrom(c, func(r automata.Report) {
+			events++
+			if e := col.Add(c, r); e != nil && scanErr == nil {
+				scanErr = e
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if scanErr != nil {
+			return nil, scanErr
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	sites := col.Sites()
+	if offset != 0 {
+		for i := range sites {
+			sites[i].Pos += offset
+		}
+	}
+	res := &Result{
+		Sites: sites,
+		Stats: Stats{Engine: engine.Name(), ElapsedSec: elapsed, Events: events},
+	}
+	if m, ok := engine.(arch.Modeled); ok {
+		b := m.EstimateBreakdown(g.TotalLen(), events)
+		r := m.Resources()
+		res.Stats.Modeled = &b
+		res.Stats.Resources = &r
+	}
+	return res, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

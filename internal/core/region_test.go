@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/genome"
+)
+
+func TestParseRegion(t *testing.T) {
+	r, err := ParseRegion("chr1")
+	if err != nil || r.Chrom != "chr1" || r.Start != 0 || r.End != 0 {
+		t.Errorf("whole chromosome: %+v, %v", r, err)
+	}
+	r, err = ParseRegion("chr2:100-200")
+	if err != nil || r.Chrom != "chr2" || r.Start != 100 || r.End != 200 {
+		t.Errorf("span: %+v, %v", r, err)
+	}
+	for _, bad := range []string{"", ":100-200", "chr1:abc-200", "chr1:100-abc", "chr1:200-100", "chr1:100", "chr1:-5-10"} {
+		if _, err := ParseRegion(bad); err == nil {
+			t.Errorf("ParseRegion(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRegionSlice(t *testing.T) {
+	g, _, _ := plantedFixture(t, 801, 2, 60000, PlantPlanLite())
+	region := Region{Chrom: "chr1", Start: 1000, End: 5000}
+	sub, offset, err := region.Slice(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offset != 1000 || sub.TotalLen() != 4000 {
+		t.Errorf("offset=%d len=%d", offset, sub.TotalLen())
+	}
+	// End clamp.
+	wide := Region{Chrom: "chr1", Start: 0, End: 1 << 30}
+	sub, _, err = wide.Slice(g)
+	if err != nil || sub.TotalLen() != len(g.Chrom("chr1").Seq) {
+		t.Errorf("clamp: %v, %d", err, sub.TotalLen())
+	}
+	if _, _, err := (Region{Chrom: "nope"}).Slice(g); err == nil {
+		t.Error("unknown chromosome must error")
+	}
+	if _, _, err := (Region{Chrom: "chr1", Start: 1 << 30, End: 1<<30 + 1}).Slice(g); err == nil {
+		t.Error("out-of-range start must error")
+	}
+}
+
+func TestSearchWithRegion(t *testing.T) {
+	g, guides, _ := plantedFixture(t, 802, 4, 120000, genome.PlantPlan{0: 2, 2: 2})
+	full, err := Search(g, guides, Params{MaxMismatches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a planted site on chr1 and restrict around it.
+	var target *int
+	for _, s := range full.Sites {
+		if s.Chrom == "chr1" {
+			p := s.Pos
+			target = &p
+			break
+		}
+	}
+	if target == nil {
+		t.Skip("no chr1 site this seed")
+	}
+	lo, hi := *target-500, *target+500
+	if lo < 0 {
+		lo = 0
+	}
+	res, err := Search(g, guides, Params{MaxMismatches: 2, Region: formatRegion("chr1", lo, hi)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range res.Sites {
+		if s.Chrom != "chr1" {
+			t.Fatalf("region search leaked chromosome %s", s.Chrom)
+		}
+		if s.Pos < lo || s.Pos >= hi {
+			t.Fatalf("site %d outside region [%d,%d)", s.Pos, lo, hi)
+		}
+		if s.Pos == *target {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("target site %d not found in region search", *target)
+	}
+	// Every region site must also be a full-search site (coordinates
+	// correctly shifted back).
+	fullSet := map[string]bool{}
+	for _, s := range full.Sites {
+		fullSet[siteKey(s)] = true
+	}
+	for _, s := range res.Sites {
+		if !fullSet[siteKey(s)] {
+			t.Fatalf("region site %+v not in full search", s)
+		}
+	}
+}
+
+func TestSearchRegionErrors(t *testing.T) {
+	g, guides, _ := plantedFixture(t, 803, 2, 60000, PlantPlanLite())
+	if _, err := Search(g, guides, Params{Region: "chr1:bogus"}); err == nil {
+		t.Error("bad region must error")
+	}
+	if _, err := Search(g, guides, Params{Region: "chr99"}); err == nil {
+		t.Error("unknown chromosome must error")
+	}
+}
+
+func formatRegion(chrom string, lo, hi int) string {
+	return chrom + ":" + itoa(lo) + "-" + itoa(hi)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/fasta"
+	"github.com/cap-repro/crisprscan/internal/report"
+)
+
+func TestSearchStreamMatchesInMemory(t *testing.T) {
+	g, guides, _ := plantedFixture(t, 501, 4, 80000, PlantPlanLite())
+	// Serialize the genome to FASTA and stream it back.
+	var buf bytes.Buffer
+	w := fasta.NewWriter(&buf, 0)
+	for _, rec := range g.ToFasta() {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	inMem, err := Search(g, guides, Params{MaxMismatches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []report.Site
+	stats, err := SearchStream(&buf, guides, Params{MaxMismatches: 2}, func(s report.Site) error {
+		streamed = append(streamed, s)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(inMem.Sites) {
+		t.Fatalf("streamed %d sites, in-memory %d", len(streamed), len(inMem.Sites))
+	}
+	for i := range streamed {
+		if streamed[i] != inMem.Sites[i] {
+			t.Fatalf("site %d differs: %+v vs %+v", i, streamed[i], inMem.Sites[i])
+		}
+	}
+	if stats.Events != inMem.Stats.Events {
+		t.Errorf("events %d vs %d", stats.Events, inMem.Stats.Events)
+	}
+}
+
+func TestSearchStreamErrors(t *testing.T) {
+	_, guides, _ := plantedFixture(t, 502, 2, 60000, PlantPlanLite())
+	if _, err := SearchStream(strings.NewReader(""), nil, Params{}, func(report.Site) error { return nil }); err == nil {
+		t.Error("no guides must error")
+	}
+	if _, err := SearchStream(strings.NewReader(""), guides, Params{}, nil); err == nil {
+		t.Error("nil yield must error")
+	}
+	dup := ">a\nACGT\n>a\nACGT\n"
+	if _, err := SearchStream(strings.NewReader(dup), guides, Params{}, func(report.Site) error { return nil }); err == nil {
+		t.Error("duplicate chromosome must error")
+	}
+	// Yield errors propagate.
+	g, guides2, _ := plantedFixture(t, 503, 2, 60000, PlantPlanLite())
+	var buf bytes.Buffer
+	w := fasta.NewWriter(&buf, 0)
+	for _, rec := range g.ToFasta() {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("stop")
+	_, err := SearchStream(&buf, guides2, Params{MaxMismatches: 2}, func(report.Site) error { return wantErr })
+	if err == nil || !strings.Contains(err.Error(), "stop") {
+		t.Errorf("yield error must propagate, got %v", err)
+	}
+}
+
+// PlantPlanLite returns a small default plant plan for stream tests.
+func PlantPlanLite() map[int]int { return map[int]int{0: 1, 2: 2} }

@@ -1,0 +1,182 @@
+package dfa
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"github.com/cap-repro/crisprscan/internal/automata"
+)
+
+// Lazy is an on-the-fly determinized scanner: deterministic states are
+// materialized the first time they are visited, so scanning costs one
+// table step per symbol (like a DFA) without ever paying the full
+// subset-construction blowup (which E1 shows reaching 10^5 states per
+// guide at k=5). This is how HyperScan's McClellan engines and classic
+// lazy-DFA regex engines handle automata whose full determinization is
+// too large. Memory is bounded: when the state cache reaches MaxStates,
+// it is flushed and rebuilt from the current configuration, trading a
+// little recomputation for a hard cap.
+type Lazy struct {
+	alphabet int
+	words    int
+	classHit [][]uint64
+	startAll []uint64
+	out      [][]uint32
+	reports  []int32 // per NFA state, NoReport or code
+
+	maxStates int
+	index     map[string]int32
+	sets      [][]uint64
+	trans     []int32   // sets x alphabet, -1 = not yet computed
+	repCache  [][]int32 // per DFA state
+	// Flushes counts cache resets (observable for tests/stats).
+	Flushes int
+}
+
+// NewLazy prepares a lazy determinizer for n. maxStates bounds the
+// cached DFA states (default 1<<16).
+func NewLazy(n *automata.NFA, maxStates int) (*Lazy, error) {
+	if maxStates <= 0 {
+		maxStates = 1 << 16
+	}
+	if maxStates < 2 {
+		return nil, fmt.Errorf("dfa: lazy cache must hold at least 2 states")
+	}
+	for i := range n.States {
+		if n.States[i].Start == automata.StartOfData {
+			return nil, fmt.Errorf("dfa: start-of-data states are not supported")
+		}
+		if n.States[i].ReportMid != automata.NoReport {
+			return nil, fmt.Errorf("dfa: mid-symbol reports are not supported")
+		}
+	}
+	words := (len(n.States) + 63) / 64
+	l := &Lazy{
+		alphabet:  n.Alphabet,
+		words:     words,
+		classHit:  make([][]uint64, n.Alphabet),
+		startAll:  make([]uint64, words),
+		out:       make([][]uint32, len(n.States)),
+		reports:   make([]int32, len(n.States)),
+		maxStates: maxStates,
+	}
+	for s := range l.classHit {
+		l.classHit[s] = make([]uint64, words)
+	}
+	for i := range n.States {
+		st := &n.States[i]
+		w, b := i/64, uint(i%64)
+		for s := 0; s < n.Alphabet; s++ {
+			if st.Class.HasSym(uint8(s)) {
+				l.classHit[s][w] |= 1 << b
+			}
+		}
+		if st.Start == automata.AllInput {
+			l.startAll[w] |= 1 << b
+		}
+		l.out[i] = st.Out
+		l.reports[i] = st.Report
+	}
+	l.reset()
+	return l, nil
+}
+
+// reset drops every cached state (the start/empty set is re-interned).
+func (l *Lazy) reset() {
+	l.index = make(map[string]int32)
+	l.sets = l.sets[:0]
+	l.trans = l.trans[:0]
+	l.repCache = l.repCache[:0]
+	l.intern(make([]uint64, l.words))
+}
+
+func setKey(set []uint64) string {
+	buf := make([]byte, 8*len(set))
+	for i, w := range set {
+		for j := 0; j < 8; j++ {
+			buf[8*i+j] = byte(w >> (8 * j))
+		}
+	}
+	return string(buf)
+}
+
+// intern registers a configuration and returns its DFA id.
+func (l *Lazy) intern(set []uint64) int32 {
+	k := setKey(set)
+	if id, ok := l.index[k]; ok {
+		return id
+	}
+	id := int32(len(l.sets))
+	l.index[k] = id
+	l.sets = append(l.sets, append([]uint64(nil), set...))
+	row := make([]int32, l.alphabet)
+	for i := range row {
+		row[i] = -1
+	}
+	l.trans = append(l.trans, row...)
+	var reps []int32
+	for w, word := range set {
+		for word != 0 {
+			i := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if r := l.reports[i]; r != automata.NoReport {
+				reps = append(reps, r)
+			}
+		}
+	}
+	sort.Slice(reps, func(a, b int) bool { return reps[a] < reps[b] })
+	l.repCache = append(l.repCache, reps)
+	return id
+}
+
+// step computes (and caches) the successor of DFA state id on sym.
+func (l *Lazy) step(id int32, sym uint8) int32 {
+	if t := l.trans[int(id)*l.alphabet+int(sym)]; t >= 0 {
+		return t
+	}
+	succ := make([]uint64, l.words)
+	copy(succ, l.startAll)
+	for w, word := range l.sets[id] {
+		for word != 0 {
+			i := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			for _, v := range l.out[i] {
+				succ[v/64] |= 1 << (v % 64)
+			}
+		}
+	}
+	hit := l.classHit[sym]
+	for w := range succ {
+		succ[w] &= hit[w]
+	}
+	if len(l.sets) >= l.maxStates {
+		// Cache full: flush everything and continue from the successor
+		// configuration in the fresh cache. The caller's state id is
+		// whatever this returns, so no stale ids survive.
+		l.reset()
+		l.Flushes++
+		return l.intern(succ)
+	}
+	t := l.intern(succ)
+	l.trans[int(id)*l.alphabet+int(sym)] = t
+	return t
+}
+
+// Scan runs the lazy DFA over input.
+func (l *Lazy) Scan(input []uint8, emit func(automata.Report)) {
+	cur := l.intern(make([]uint64, l.words))
+	for t, sym := range input {
+		if int(sym) >= l.alphabet {
+			cur = l.intern(make([]uint64, l.words))
+			continue
+		}
+		cur = l.step(cur, sym)
+		for _, code := range l.repCache[cur] {
+			emit(automata.Report{Code: code, End: t})
+		}
+	}
+}
+
+// CachedStates reports the current cache population.
+func (l *Lazy) CachedStates() int { return len(l.sets) }

@@ -1,0 +1,105 @@
+package dfa
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/automata"
+	"github.com/cap-repro/crisprscan/internal/dna"
+)
+
+func TestLazyMatchesFullDFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	for trial := 0; trial < 10; trial++ {
+		n := guideNFA(t, rng, 5+rng.Intn(5), rng.Intn(3), int32(trial))
+		full, err := FromNFA(n, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazy, err := NewLazy(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := randInput(rng, 4000, 0.02)
+		var got []automata.Report
+		lazy.Scan(in, func(r automata.Report) { got = append(got, r) })
+		if !sameReports(got, full.ScanCollect(in)) {
+			t.Fatalf("trial %d: lazy disagrees with full DFA", trial)
+		}
+	}
+}
+
+func TestLazyHighKWhereFullDFAExplodes(t *testing.T) {
+	// k=5 on a 20-mer: the minimal DFA has ~1e5 states (E1); the lazy
+	// scanner only materializes configurations the input visits.
+	rng := rand.New(rand.NewSource(182))
+	n := guideNFA(t, rng, 20, 5, 0)
+	lazy, err := NewLazy(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randInput(rng, 30000, 0)
+	var got []automata.Report
+	lazy.Scan(in, func(r automata.Report) { got = append(got, r) })
+	want := automata.NewSim(n).ScanCollect(in)
+	if !sameReports(got, want) {
+		t.Fatalf("lazy %d vs NFA %d reports", len(got), len(want))
+	}
+	if lazy.CachedStates() >= 100000 {
+		t.Errorf("lazy cache materialized %d states; expected far fewer than the full DFA", lazy.CachedStates())
+	}
+	t.Logf("lazy cache: %d states for a ~1e5-state full DFA", lazy.CachedStates())
+}
+
+func TestLazyCacheFlush(t *testing.T) {
+	rng := rand.New(rand.NewSource(183))
+	n := guideNFA(t, rng, 12, 3, 0)
+	lazy, err := NewLazy(n, 64) // tiny cache forces flushes
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randInput(rng, 20000, 0.01)
+	var got []automata.Report
+	lazy.Scan(in, func(r automata.Report) { got = append(got, r) })
+	if lazy.Flushes == 0 {
+		t.Error("tiny cache should have flushed")
+	}
+	if lazy.CachedStates() > 64+1 {
+		t.Errorf("cache grew past its cap: %d", lazy.CachedStates())
+	}
+	want := automata.NewSim(n).ScanCollect(in)
+	if !sameReports(got, want) {
+		t.Fatalf("flushing changed the language: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestLazyErrors(t *testing.T) {
+	n := automata.New(4, "sod")
+	s := n.AddState(automata.NewState(automata.ClassOfMask(dna.MaskA), automata.StartOfData))
+	n.States[s].Report = 0
+	if _, err := NewLazy(n, 0); err == nil {
+		t.Error("start-of-data must be rejected")
+	}
+	ok := automata.New(4, "x")
+	s2 := ok.AddState(automata.NewState(automata.ClassOfMask(dna.MaskA), automata.AllInput))
+	ok.States[s2].Report = 0
+	if _, err := NewLazy(ok, 1); err == nil {
+		t.Error("cache < 2 must be rejected")
+	}
+}
+
+func TestLazyDeadSymbols(t *testing.T) {
+	rng := rand.New(rand.NewSource(184))
+	n := guideNFA(t, rng, 6, 1, 0)
+	lazy, err := NewLazy(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randInput(rng, 2000, 0.3) // heavy ambiguity
+	var got []automata.Report
+	lazy.Scan(in, func(r automata.Report) { got = append(got, r) })
+	want := automata.NewSim(n).ScanCollect(in)
+	if !sameReports(got, want) {
+		t.Fatal("dead-symbol handling differs")
+	}
+}

@@ -1,0 +1,331 @@
+// Package dna provides the nucleotide alphabet used throughout the
+// off-target search pipeline: 2-bit base codes, 4-bit degenerate (IUPAC)
+// masks, reverse complements, and 2-bit packed sequence storage.
+//
+// Two encodings coexist:
+//
+//   - Base codes (A=0, C=1, G=2, T=3) are the dense alphabet every scan
+//     engine consumes. Ambiguous input characters (N and friends) are
+//     mapped to the sentinel BadBase and excluded from matching, which is
+//     what Cas-OFFinder and CasOT do with N runs in the reference.
+//   - IUPAC masks are 4-bit sets over {A,C,G,T} used for degenerate PAM
+//     patterns (NGG, NRG, NAG, ...) and for automata character classes.
+package dna
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Base is a 2-bit nucleotide code: A=0, C=1, G=2, T=3.
+type Base uint8
+
+// The four concrete bases, in the canonical encoding order.
+const (
+	A Base = 0
+	C Base = 1
+	G Base = 2
+	T Base = 3
+
+	// BadBase marks an input character that is not a concrete nucleotide
+	// (N, IUPAC ambiguity codes, gaps, garbage). Engines treat positions
+	// holding BadBase as matching nothing.
+	BadBase Base = 0xFF
+
+	// AlphabetSize is the size of the dense scan alphabet.
+	AlphabetSize = 4
+)
+
+// Mask is a 4-bit set of bases: bit i set means Base(i) is in the set.
+// It is the character-class representation for automata states and
+// degenerate PAM symbols.
+type Mask uint8
+
+// Common masks.
+const (
+	MaskA   Mask = 1 << A
+	MaskC   Mask = 1 << C
+	MaskG   Mask = 1 << G
+	MaskT   Mask = 1 << T
+	MaskAny Mask = MaskA | MaskC | MaskG | MaskT // IUPAC N
+	MaskNil Mask = 0
+)
+
+// baseFromChar maps ASCII to Base; initialized in init.
+var baseFromChar [256]Base
+
+// maskFromChar maps ASCII (including IUPAC codes) to Mask; 0 = invalid.
+var maskFromChar [256]Mask
+
+// charFromBase is the canonical upper-case letter for each base code.
+var charFromBase = [4]byte{'A', 'C', 'G', 'T'}
+
+// iupacFromMask maps each of the 16 masks back to its IUPAC letter.
+var iupacFromMask = [16]byte{
+	0:                             '-', // empty set has no IUPAC letter
+	MaskA:                         'A',
+	MaskC:                         'C',
+	MaskG:                         'G',
+	MaskT:                         'T',
+	MaskA | MaskG:                 'R', // puRine
+	MaskC | MaskT:                 'Y', // pYrimidine
+	MaskG | MaskC:                 'S', // Strong
+	MaskA | MaskT:                 'W', // Weak
+	MaskG | MaskT:                 'K', // Keto
+	MaskA | MaskC:                 'M', // aMino
+	MaskC | MaskG | MaskT:         'B', // not A
+	MaskA | MaskG | MaskT:         'D', // not C
+	MaskA | MaskC | MaskT:         'H', // not G
+	MaskA | MaskC | MaskG:         'V', // not T
+	MaskA | MaskC | MaskG | MaskT: 'N',
+}
+
+func init() {
+	for i := range baseFromChar {
+		baseFromChar[i] = BadBase
+	}
+	set := func(ch byte, b Base) {
+		baseFromChar[ch] = b
+		baseFromChar[ch|0x20] = b // lower case
+	}
+	set('A', A)
+	set('C', C)
+	set('G', G)
+	set('T', T)
+	set('U', T) // RNA uracil reads as T
+
+	for m, ch := range iupacFromMask {
+		if ch == '-' || ch == 0 {
+			continue
+		}
+		maskFromChar[ch] = Mask(m)
+		maskFromChar[ch|0x20] = Mask(m)
+	}
+	maskFromChar['U'] = MaskT
+	maskFromChar['u'] = MaskT
+}
+
+// BaseFromChar converts an ASCII nucleotide letter (either case, U allowed)
+// to its 2-bit code, or BadBase for anything else (including IUPAC
+// ambiguity codes: a concrete scan alphabet has no room for them).
+func BaseFromChar(ch byte) Base { return baseFromChar[ch] }
+
+// Char returns the canonical upper-case letter for b, or 'N' for BadBase.
+func (b Base) Char() byte {
+	if b > T {
+		return 'N'
+	}
+	return charFromBase[b]
+}
+
+// Complement returns the Watson-Crick complement. BadBase complements to
+// itself.
+func (b Base) Complement() Base {
+	if b > T {
+		return BadBase
+	}
+	return 3 - b // A<->T, C<->G under the 2-bit encoding
+}
+
+// Mask returns the singleton mask for b, or MaskNil for BadBase.
+func (b Base) Mask() Mask {
+	if b > T {
+		return MaskNil
+	}
+	return 1 << b
+}
+
+// MaskFromChar converts an ASCII IUPAC letter to its base set, or MaskNil
+// if the letter is not a valid IUPAC nucleotide code.
+func MaskFromChar(ch byte) Mask { return maskFromChar[ch] }
+
+// Has reports whether base b is in the set.
+func (m Mask) Has(b Base) bool {
+	return b <= T && m&(1<<b) != 0
+}
+
+// Complement returns the set of complements of the members of m.
+// (For example R = {A,G} complements to Y = {T,C}.)
+func (m Mask) Complement() Mask {
+	var out Mask
+	for b := A; b <= T; b++ {
+		if m.Has(b) {
+			out |= 1 << b.Complement()
+		}
+	}
+	return out
+}
+
+// Count returns the number of bases in the set.
+func (m Mask) Count() int {
+	n := 0
+	for b := A; b <= T; b++ {
+		if m.Has(b) {
+			n++
+		}
+	}
+	return n
+}
+
+// Char returns the IUPAC letter for the set ('-' for the empty set).
+func (m Mask) Char() byte { return iupacFromMask[m&0xF] }
+
+// String implements fmt.Stringer.
+func (m Mask) String() string { return string(m.Char()) }
+
+// Seq is a dense base-code sequence. Positions holding BadBase represent
+// ambiguous reference characters.
+type Seq []Base
+
+// ParseSeq converts an ASCII sequence to base codes. Characters that are
+// not concrete nucleotides become BadBase; the bad count is returned so
+// callers can decide whether that is acceptable.
+func ParseSeq(s string) (Seq, int) {
+	out := make(Seq, len(s))
+	bad := 0
+	for i := 0; i < len(s); i++ {
+		b := baseFromChar[s[i]]
+		out[i] = b
+		if b == BadBase {
+			bad++
+		}
+	}
+	return out, bad
+}
+
+// MustParseSeq is ParseSeq but panics on any non-concrete character.
+// Intended for literals in tests and examples.
+func MustParseSeq(s string) Seq {
+	seq, bad := ParseSeq(s)
+	if bad != 0 {
+		panic(fmt.Sprintf("dna: sequence %q contains %d non-ACGT characters", s, bad))
+	}
+	return seq
+}
+
+// String renders the sequence as upper-case ASCII with N for BadBase.
+func (s Seq) String() string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for _, b := range s {
+		sb.WriteByte(b.Char())
+	}
+	return sb.String()
+}
+
+// ReverseComplement returns a new sequence that is the reverse complement
+// of s.
+func (s Seq) ReverseComplement() Seq {
+	out := make(Seq, len(s))
+	for i, b := range s {
+		out[len(s)-1-i] = b.Complement()
+	}
+	return out
+}
+
+// HasAmbiguous reports whether s contains any BadBase position. Scan
+// engines never report windows containing ambiguous bases; oracles use
+// this to apply the same rule.
+func (s Seq) HasAmbiguous() bool {
+	for _, b := range s {
+		if b == BadBase {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a copy of s.
+func (s Seq) Clone() Seq {
+	out := make(Seq, len(s))
+	copy(out, s)
+	return out
+}
+
+// Pattern is a degenerate sequence: one base set per position. It is the
+// representation for PAMs and for guide+PAM search patterns.
+type Pattern []Mask
+
+// ParsePattern converts an IUPAC string to a Pattern. It returns an error
+// if any character is not a valid IUPAC nucleotide code.
+func ParsePattern(s string) (Pattern, error) {
+	out := make(Pattern, len(s))
+	for i := 0; i < len(s); i++ {
+		m := maskFromChar[s[i]]
+		if m == MaskNil {
+			return nil, fmt.Errorf("dna: invalid IUPAC character %q at position %d in %q", s[i], i, s)
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// MustParsePattern is ParsePattern but panics on error.
+func MustParsePattern(s string) Pattern {
+	p, err := ParsePattern(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// PatternFromSeq lifts a concrete sequence into a Pattern of singletons.
+// BadBase positions become N (match anything), mirroring how gRNA spacers
+// with leading N are treated by off-target tools.
+func PatternFromSeq(s Seq) Pattern {
+	out := make(Pattern, len(s))
+	for i, b := range s {
+		if b == BadBase {
+			out[i] = MaskAny
+		} else {
+			out[i] = b.Mask()
+		}
+	}
+	return out
+}
+
+// String renders the pattern in IUPAC letters.
+func (p Pattern) String() string {
+	var sb strings.Builder
+	sb.Grow(len(p))
+	for _, m := range p {
+		sb.WriteByte(m.Char())
+	}
+	return sb.String()
+}
+
+// ReverseComplement returns the reverse-complement pattern (for scanning
+// the forward strand against minus-strand sites).
+func (p Pattern) ReverseComplement() Pattern {
+	out := make(Pattern, len(p))
+	for i, m := range p {
+		out[len(p)-1-i] = m.Complement()
+	}
+	return out
+}
+
+// Matches reports whether the concrete window w (len(w) must equal len(p))
+// is a member of the pattern's language.
+func (p Pattern) Matches(w Seq) bool {
+	if len(w) != len(p) {
+		return false
+	}
+	for i, m := range p {
+		if !m.Has(w[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Mismatches counts the positions of w not covered by p, treating BadBase
+// as a mismatch everywhere. len(w) must equal len(p).
+func (p Pattern) Mismatches(w Seq) int {
+	n := 0
+	for i, m := range p {
+		if !m.Has(w[i]) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,199 @@
+package dna
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseFromChar(t *testing.T) {
+	cases := []struct {
+		ch   byte
+		want Base
+	}{
+		{'A', A}, {'a', A}, {'C', C}, {'c', C},
+		{'G', G}, {'g', G}, {'T', T}, {'t', T},
+		{'U', T}, {'u', T},
+		{'N', BadBase}, {'n', BadBase}, {'R', BadBase},
+		{'-', BadBase}, {'X', BadBase}, {0, BadBase}, {' ', BadBase},
+	}
+	for _, c := range cases {
+		if got := BaseFromChar(c.ch); got != c.want {
+			t.Errorf("BaseFromChar(%q) = %v, want %v", c.ch, got, c.want)
+		}
+	}
+}
+
+func TestBaseComplement(t *testing.T) {
+	pairs := map[Base]Base{A: T, T: A, C: G, G: C}
+	for b, want := range pairs {
+		if got := b.Complement(); got != want {
+			t.Errorf("%c.Complement() = %c, want %c", b.Char(), got.Char(), want.Char())
+		}
+	}
+	if BadBase.Complement() != BadBase {
+		t.Error("BadBase must complement to itself")
+	}
+}
+
+func TestMaskFromChar(t *testing.T) {
+	cases := []struct {
+		ch   byte
+		want Mask
+	}{
+		{'A', MaskA}, {'C', MaskC}, {'G', MaskG}, {'T', MaskT},
+		{'R', MaskA | MaskG}, {'Y', MaskC | MaskT},
+		{'S', MaskC | MaskG}, {'W', MaskA | MaskT},
+		{'K', MaskG | MaskT}, {'M', MaskA | MaskC},
+		{'B', MaskC | MaskG | MaskT}, {'D', MaskA | MaskG | MaskT},
+		{'H', MaskA | MaskC | MaskT}, {'V', MaskA | MaskC | MaskG},
+		{'N', MaskAny}, {'n', MaskAny},
+		{'U', MaskT},
+		{'X', MaskNil}, {'-', MaskNil}, {'8', MaskNil},
+	}
+	for _, c := range cases {
+		if got := MaskFromChar(c.ch); got != c.want {
+			t.Errorf("MaskFromChar(%q) = %04b, want %04b", c.ch, got, c.want)
+		}
+	}
+}
+
+func TestMaskRoundTrip(t *testing.T) {
+	// Every nonempty mask must render to a letter that parses back to it.
+	for m := Mask(1); m <= MaskAny; m++ {
+		ch := m.Char()
+		if got := MaskFromChar(ch); got != m {
+			t.Errorf("mask %04b -> %q -> %04b", m, ch, got)
+		}
+	}
+}
+
+func TestMaskComplement(t *testing.T) {
+	cases := map[byte]byte{'A': 'T', 'R': 'Y', 'S': 'S', 'W': 'W', 'N': 'N', 'B': 'V', 'M': 'K'}
+	for in, want := range cases {
+		got := MaskFromChar(in).Complement().Char()
+		if got != want {
+			t.Errorf("complement(%c) = %c, want %c", in, got, want)
+		}
+	}
+}
+
+func TestMaskCount(t *testing.T) {
+	if MaskAny.Count() != 4 || MaskA.Count() != 1 || MaskNil.Count() != 0 {
+		t.Error("Mask.Count basic cases wrong")
+	}
+	if MaskFromChar('R').Count() != 2 || MaskFromChar('B').Count() != 3 {
+		t.Error("Mask.Count degenerate cases wrong")
+	}
+}
+
+func TestParseSeq(t *testing.T) {
+	seq, bad := ParseSeq("ACGTNacgtn")
+	if bad != 2 {
+		t.Fatalf("bad = %d, want 2", bad)
+	}
+	want := "ACGTNACGTN"
+	if seq.String() != want {
+		t.Errorf("round-trip = %q, want %q", seq.String(), want)
+	}
+}
+
+func TestMustParseSeqPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseSeq(\"ACGN\") should panic")
+		}
+	}()
+	MustParseSeq("ACGN")
+}
+
+func TestReverseComplement(t *testing.T) {
+	cases := map[string]string{
+		"ACGT":    "ACGT",
+		"AAAA":    "TTTT",
+		"GATTACA": "TGTAATC",
+		"":        "",
+		"G":       "C",
+	}
+	for in, want := range cases {
+		got := MustParseSeq(in).ReverseComplement().String()
+		if got != want {
+			t.Errorf("revcomp(%s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestReverseComplementInvolution(t *testing.T) {
+	f := func(raw []byte) bool {
+		seq := make(Seq, len(raw))
+		for i, r := range raw {
+			seq[i] = Base(r % 4)
+		}
+		return seq.ReverseComplement().ReverseComplement().String() == seq.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPatternParseAndMatch(t *testing.T) {
+	p, err := ParsePattern("NGG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"AGG", "CGG", "GGG", "TGG"} {
+		if !p.Matches(MustParseSeq(s)) {
+			t.Errorf("NGG should match %s", s)
+		}
+	}
+	for _, s := range []string{"GAG", "GGA", "TTT"} {
+		if p.Matches(MustParseSeq(s)) {
+			t.Errorf("NGG should not match %s", s)
+		}
+	}
+	if p.Matches(MustParseSeq("AG")) {
+		t.Error("length mismatch must not match")
+	}
+}
+
+func TestParsePatternError(t *testing.T) {
+	if _, err := ParsePattern("NGX"); err == nil {
+		t.Error("expected error for invalid IUPAC letter")
+	}
+}
+
+func TestPatternReverseComplement(t *testing.T) {
+	// NGG reverse-complements to CCN.
+	got := MustParsePattern("NGG").ReverseComplement().String()
+	if got != "CCN" {
+		t.Errorf("revcomp(NGG) = %s, want CCN", got)
+	}
+	got = MustParsePattern("NRG").ReverseComplement().String()
+	if got != "CYN" {
+		t.Errorf("revcomp(NRG) = %s, want CYN", got)
+	}
+}
+
+func TestPatternMismatches(t *testing.T) {
+	p := PatternFromSeq(MustParseSeq("ACGT"))
+	if n := p.Mismatches(MustParseSeq("ACGT")); n != 0 {
+		t.Errorf("mismatches = %d, want 0", n)
+	}
+	if n := p.Mismatches(MustParseSeq("TCGA")); n != 2 {
+		t.Errorf("mismatches = %d, want 2", n)
+	}
+	seq, _ := ParseSeq("ACGN")
+	if n := p.Mismatches(seq); n != 1 {
+		t.Errorf("ambiguous base must mismatch; got %d, want 1", n)
+	}
+}
+
+func TestPatternFromSeqAmbiguous(t *testing.T) {
+	seq, _ := ParseSeq("NAC")
+	p := PatternFromSeq(seq)
+	if p[0] != MaskAny {
+		t.Error("BadBase in a guide must lift to N (match anything)")
+	}
+	if p.String() != "NAC" {
+		t.Errorf("pattern = %s, want NAC", p.String())
+	}
+}

@@ -1,0 +1,136 @@
+package dna
+
+import "math/bits"
+
+// Packed is a 2-bit-per-base packed sequence plus an ambiguity bitmap.
+// It is the memory layout Cas-OFFinder-style brute force scans use: a
+// window comparison is a 64-bit XOR followed by popcount over 2-bit lanes.
+type Packed struct {
+	words []uint64 // 32 bases per word, base i at bits (2*(i%32)) (little-endian lanes)
+	amb   []uint64 // 1 bit per base: set if the source base was BadBase
+	n     int
+}
+
+// Pack converts a Seq to packed form. BadBase packs as A in the code plane
+// and sets the ambiguity bit, so comparisons can force-mismatch it.
+func Pack(s Seq) *Packed {
+	n := len(s)
+	p := &Packed{
+		words: make([]uint64, (n+31)/32),
+		amb:   make([]uint64, (n+63)/64),
+		n:     n,
+	}
+	for i, b := range s {
+		if b == BadBase {
+			p.amb[i/64] |= 1 << uint(i%64)
+			continue // leaves code bits 00 (A)
+		}
+		p.words[i/32] |= uint64(b) << uint(2*(i%32))
+	}
+	return p
+}
+
+// Len returns the number of bases.
+func (p *Packed) Len() int { return p.n }
+
+// Base returns the base at position i (BadBase if the position was
+// ambiguous in the source).
+func (p *Packed) Base(i int) Base {
+	if p.amb[i/64]&(1<<uint(i%64)) != 0 {
+		return BadBase
+	}
+	return Base(p.words[i/32] >> uint(2*(i%32)) & 3)
+}
+
+// Ambiguous reports whether position i held a non-ACGT character.
+func (p *Packed) Ambiguous(i int) bool {
+	return p.amb[i/64]&(1<<uint(i%64)) != 0
+}
+
+// Window extracts up to 32 bases starting at position pos into a single
+// word (base j of the window in bits 2j), plus a 32-bit ambiguity mask.
+// Callers must ensure pos+width <= Len() and width <= 32.
+func (p *Packed) Window(pos, width int) (codes uint64, amb uint32) {
+	w, off := pos/32, uint(pos%32)
+	codes = p.words[w] >> (2 * off)
+	if off != 0 && w+1 < len(p.words) {
+		codes |= p.words[w+1] << (2 * (32 - off))
+	}
+	if width < 32 {
+		codes &= (1 << uint(2*width)) - 1
+	}
+	aw, aoff := pos/64, uint(pos%64)
+	a := p.amb[aw] >> aoff
+	if aoff != 0 && aw+1 < len(p.amb) {
+		a |= p.amb[aw+1] << (64 - aoff)
+	}
+	amb = uint32(a & ((1 << uint(width)) - 1))
+	return codes, amb
+}
+
+// diffLanes spreads the "these 2-bit lanes differ" property of x into one
+// bit per lane (bit 2j of the result set iff lanes j differ in x).
+func diffLanes(x uint64) uint64 {
+	const lo = 0x5555555555555555
+	return (x | x>>1) & lo
+}
+
+// MismatchCount compares width bases of the packed genome at pos against
+// a packed pattern word (pattern base j at bits 2j; pattern must contain
+// only concrete bases) and returns the Hamming distance. Ambiguous genome
+// positions always count as mismatches. width must be <= 32.
+func (p *Packed) MismatchCount(pos, width int, pattern uint64) int {
+	codes, amb := p.Window(pos, width)
+	d := diffLanes(codes ^ pattern)
+	// Fold ambiguity in: an ambiguous lane mismatches regardless of codes.
+	var ambLanes uint64
+	for a := amb; a != 0; a &= a - 1 {
+		ambLanes |= 1 << uint(2*bits.TrailingZeros32(a))
+	}
+	return bits.OnesCount64(d | ambLanes)
+}
+
+// PackPatternWord packs up to 32 concrete bases into a comparison word for
+// MismatchCount. Panics if s contains BadBase or is longer than 32.
+func PackPatternWord(s Seq) uint64 {
+	if len(s) > 32 {
+		panic("dna: pattern longer than 32 bases")
+	}
+	var w uint64
+	for i, b := range s {
+		if b == BadBase {
+			panic("dna: pattern contains ambiguous base")
+		}
+		w |= uint64(b) << uint(2*i)
+	}
+	return w
+}
+
+// Kmer encodes the width bases starting at pos as a 2-bit integer key
+// (base 0 in the most significant lanes so lexicographic order is numeric
+// order). ok is false if any position in the window is ambiguous.
+// width must be <= 31.
+func (p *Packed) Kmer(pos, width int) (key uint64, ok bool) {
+	codes, amb := p.Window(pos, width)
+	if amb != 0 {
+		return 0, false
+	}
+	var k uint64
+	for j := 0; j < width; j++ {
+		k = k<<2 | (codes >> uint(2*j) & 3)
+	}
+	return k, true
+}
+
+// KmerOf encodes a concrete Seq as a 2-bit key using the same orientation
+// as Packed.Kmer. ok is false if s contains BadBase. len(s) must be <= 31.
+func KmerOf(s Seq) (key uint64, ok bool) {
+	var k uint64
+	for _, b := range s {
+		if b == BadBase {
+			return 0, false
+		}
+		k = k<<2 | uint64(b)
+	}
+	return k, true
+}

@@ -1,0 +1,204 @@
+// Package fasta reads and writes FASTA files. It is deliberately small:
+// multi-record files, free line lengths, '>' headers with the first word
+// taken as the record ID, and tolerant of Windows line endings. This is
+// the on-disk interchange format between cmd/genomegen and cmd/offtarget,
+// and the loader for real reference genomes.
+package fasta
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Record is one FASTA entry.
+type Record struct {
+	ID          string // first whitespace-delimited token after '>'
+	Description string // remainder of the header line, if any
+	Seq         []byte // raw sequence bytes, newlines stripped
+}
+
+// Reader streams records from FASTA input.
+type Reader struct {
+	br      *bufio.Reader
+	pending []byte // header line of the next record, without '>'
+	done    bool
+	lineNo  int
+}
+
+// NewReader wraps r for FASTA parsing.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next returns the next record, or io.EOF when input is exhausted.
+func (r *Reader) Next() (*Record, error) {
+	if r.done {
+		return nil, io.EOF
+	}
+	header := r.pending
+	r.pending = nil
+	var seq bytes.Buffer
+	for {
+		line, err := r.br.ReadBytes('\n')
+		r.lineNo++
+		line = bytes.TrimRight(line, "\r\n")
+		switch {
+		case len(line) > 0 && line[0] == '>':
+			if header == nil && seq.Len() == 0 {
+				header = append([]byte(nil), line[1:]...)
+				continue
+			}
+			r.pending = append([]byte(nil), line[1:]...)
+			return makeRecord(header, seq.Bytes())
+		case len(line) > 0:
+			if header == nil {
+				return nil, fmt.Errorf("fasta: line %d: sequence data before any '>' header", r.lineNo)
+			}
+			if i := bytes.IndexByte(line, '>'); i >= 0 {
+				return nil, fmt.Errorf("fasta: line %d: '>' inside sequence data", r.lineNo)
+			}
+			seq.Write(line)
+		}
+		if err == io.EOF {
+			r.done = true
+			if header == nil {
+				return nil, io.EOF
+			}
+			return makeRecord(header, seq.Bytes())
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func makeRecord(header, seq []byte) (*Record, error) {
+	h := string(header)
+	rec := &Record{Seq: append([]byte(nil), seq...)}
+	if i := strings.IndexAny(h, " \t"); i >= 0 {
+		rec.ID = h[:i]
+		rec.Description = strings.TrimSpace(h[i+1:])
+	} else {
+		rec.ID = h
+	}
+	if rec.ID == "" {
+		return nil, fmt.Errorf("fasta: record with empty ID")
+	}
+	return rec, nil
+}
+
+// ReadAll parses every record from r.
+func ReadAll(r io.Reader) ([]*Record, error) {
+	fr := NewReader(r)
+	var out []*Record
+	for {
+		rec, err := fr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// ReadFile parses every record from the named file. Gzip-compressed
+// files (how reference genomes usually ship) are detected by their
+// magic bytes and decompressed transparently.
+func ReadFile(path string) ([]*Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var src io.Reader = br
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		defer gz.Close()
+		src = gz
+	}
+	recs, err := ReadAll(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// Writer emits FASTA with fixed line wrapping.
+type Writer struct {
+	w    *bufio.Writer
+	wrap int
+}
+
+// NewWriter returns a Writer wrapping sequences at wrap columns
+// (default 70 if wrap <= 0).
+func NewWriter(w io.Writer, wrap int) *Writer {
+	if wrap <= 0 {
+		wrap = 70
+	}
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), wrap: wrap}
+}
+
+// Write emits one record.
+func (w *Writer) Write(rec *Record) error {
+	if rec.ID == "" {
+		return fmt.Errorf("fasta: refusing to write record with empty ID")
+	}
+	if _, err := w.w.WriteString(">" + rec.ID); err != nil {
+		return err
+	}
+	if rec.Description != "" {
+		if _, err := w.w.WriteString(" " + rec.Description); err != nil {
+			return err
+		}
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	for off := 0; off < len(rec.Seq); off += w.wrap {
+		end := off + w.wrap
+		if end > len(rec.Seq) {
+			end = len(rec.Seq)
+		}
+		if _, err := w.w.Write(rec.Seq[off:end]); err != nil {
+			return err
+		}
+		if err := w.w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush writes buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// WriteFile writes all records to the named file.
+func WriteFile(path string, recs []*Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := NewWriter(f, 0)
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,52 @@
+package fasta
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReader checks the parser never panics and that successfully
+// parsed records survive a write/read round trip.
+func FuzzReader(f *testing.F) {
+	f.Add(">a\nACGT\n")
+	f.Add(">a desc\nACGT\nNNNN\n>b\nGG\n")
+	f.Add("")
+	f.Add(">\nACGT\n")
+	f.Add("ACGT\n>late\nAC\n")
+	f.Add(">crlf\r\nAC\r\nGT\r\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := ReadAll(strings.NewReader(in))
+		if err != nil {
+			return // malformed input rejected is fine; panics are not
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 60)
+		for _, rec := range recs {
+			if strings.ContainsAny(string(rec.Seq), ">\n\r") {
+				return // writer does not escape; such content round-trips lossily by design
+			}
+			if strings.ContainsAny(rec.ID, " \t\n\r") || strings.ContainsAny(rec.Description, "\n\r") {
+				return
+			}
+			if err := w.Write(rec); err != nil {
+				t.Fatalf("write of parsed record failed: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v", err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip count %d != %d", len(back), len(recs))
+		}
+		for i := range recs {
+			if back[i].ID != recs[i].ID || !bytes.Equal(back[i].Seq, recs[i].Seq) {
+				t.Fatalf("record %d changed in round trip", i)
+			}
+		}
+	})
+}

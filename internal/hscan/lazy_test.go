@@ -1,0 +1,62 @@
+package hscan
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLazyDFAModeMatchesBitap(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	specs := bothStrandSpecs(rng, 3, 8, 2)
+	c := chromOf(rng, 10000, 0.01)
+	lazy, err := New(specs, ModeLazyDFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bit, err := New(specs, ModeBitap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := collect(t, lazy, c)
+	b := collect(t, bit, c)
+	if len(a) == 0 {
+		t.Fatal("weak fixture")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lazy %d vs bitap %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("report %d differs", i)
+		}
+	}
+	if lazy.Name() != "hyperscan-lazydfa" {
+		t.Errorf("name = %s", lazy.Name())
+	}
+}
+
+func TestLazyDFAModeHighK(t *testing.T) {
+	// k=5 on 20-mers: full ModeDFA would materialize ~1e5 states per
+	// guide; the lazy mode must handle it comfortably.
+	rng := rand.New(rand.NewSource(192))
+	specs := bothStrandSpecs(rng, 2, 20, 5)
+	c := chromOf(rng, 20000, 0)
+	lazy, err := New(specs, ModeLazyDFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bit, _ := New(specs, ModeBitap)
+	a := collect(t, lazy, c)
+	b := collect(t, bit, c)
+	if len(a) != len(b) {
+		t.Fatalf("lazy %d vs bitap %d at k=5", len(a), len(b))
+	}
+	// Parallelism must silently fall back to serial (shared cache).
+	lazy.Parallelism = 4
+	c2 := chromOf(rng, 20000, 0)
+	a2 := collect(t, lazy, c2)
+	bit2 := collect(t, bit, c2)
+	if len(a2) != len(bit2) {
+		t.Fatalf("parallel-requested lazy differs: %d vs %d", len(a2), len(bit2))
+	}
+}

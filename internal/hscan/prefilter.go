@@ -1,0 +1,134 @@
+package hscan
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/cap-repro/crisprscan/internal/automata"
+	"github.com/cap-repro/crisprscan/internal/dna"
+	"github.com/cap-repro/crisprscan/internal/genome"
+)
+
+// prefilterGroup holds the patterns sharing one PAM orientation for
+// ModePrefilter.
+type prefilterGroup struct {
+	pats      []anchoredPat
+	pam       dna.Pattern
+	pamHit    [][5]bool
+	pamOff    int
+	spacerOff int
+	spacerLen int
+}
+
+// anchoredPat is the anchored-evaluation form of one pattern: the packed
+// spacer word and the lane mask of concrete positions. Evaluating
+// popcount((window XOR word) AND lanes) <= k is exactly the Hamming
+// lattice automaton's accept condition at this alignment, computed
+// bit-parallel.
+type anchoredPat struct {
+	word  uint64
+	lanes uint64
+	k     int
+	code  int32
+}
+
+// buildPrefilter compiles the prefilter groups, one per distinct
+// (PAM, orientation) pair — multiple PAM types (NGG plus NAG, say) scan
+// in the same pass, each with its own literal filter, exactly as
+// HyperScan compiles one FDR literal table across all patterns. All
+// specs must share window geometry; spacers must be concrete-or-N (as
+// with Cas-OFFinder's packed form).
+func (e *Engine) buildPrefilter(specs []PatternSpec) error {
+	siteLen := specs[0].SiteLen()
+	spacerLen := len(specs[0].Spacer)
+	if spacerLen == 0 || spacerLen > 32 {
+		return fmt.Errorf("hscan: prefilter mode needs spacer length 1..32, got %d", spacerLen)
+	}
+	e.preSite = siteLen
+	index := map[string]int{}
+	for i, spec := range specs {
+		if spec.SiteLen() != siteLen || len(spec.Spacer) != spacerLen {
+			return fmt.Errorf("hscan: prefilter mode needs uniform window geometry (pattern %d differs)", i)
+		}
+		key := spec.PAM.String()
+		if spec.PAMLeft {
+			key = "<" + key
+		}
+		gi, ok := index[key]
+		if !ok {
+			gi = len(e.preGroups)
+			index[key] = gi
+			g := prefilterGroup{
+				pam:       spec.PAM,
+				pamHit:    make([][5]bool, len(spec.PAM)),
+				pamOff:    spec.PAMOffset(),
+				spacerOff: spec.SpacerOffset(),
+				spacerLen: spacerLen,
+			}
+			for pi, m := range spec.PAM {
+				for b := dna.A; b <= dna.T; b++ {
+					g.pamHit[pi][b] = m.Has(b)
+				}
+			}
+			e.preGroups = append(e.preGroups, g)
+		}
+		g := &e.preGroups[gi]
+		var p anchoredPat
+		p.k = spec.K
+		p.code = spec.Code
+		for pos, mask := range spec.Spacer {
+			switch mask.Count() {
+			case 1:
+				var b dna.Base
+				for b = dna.A; b <= dna.T; b++ {
+					if mask.Has(b) {
+						break
+					}
+				}
+				p.word |= uint64(b) << uint(2*pos)
+				p.lanes |= 3 << uint(2*pos)
+			case 4:
+			default:
+				return fmt.Errorf("hscan: prefilter mode supports concrete or N spacer positions only (pattern %d)", i)
+			}
+		}
+		g.pats = append(g.pats, p)
+	}
+	return nil
+}
+
+// scanPrefilter runs the shared-literal pass. The packed representation
+// is required, so this mode consumes the chromosome rather than a bare
+// sequence slice; parallel chunking wraps it with position ownership.
+func (e *Engine) scanPrefilter(c *genome.Chromosome, lo, hi int, emit func(automata.Report)) {
+	seq := c.Seq
+	for p := lo; p < hi; p++ {
+		for gi := range e.preGroups {
+			e.preGroups[gi].confirm(c, p, e.preSite, seq, emit)
+		}
+	}
+}
+
+func (g *prefilterGroup) confirm(c *genome.Chromosome, p, siteLen int, seq dna.Seq, emit func(automata.Report)) {
+	if len(g.pats) == 0 {
+		return
+	}
+	for i := range g.pamHit {
+		b := seq[p+g.pamOff+i]
+		if b > dna.T || !g.pamHit[i][b] {
+			return
+		}
+	}
+	codes, amb := c.Packed.Window(p+g.spacerOff, g.spacerLen)
+	if amb != 0 {
+		return
+	}
+	for pi := range g.pats {
+		pat := &g.pats[pi]
+		diff := (codes ^ pat.word) & pat.lanes
+		diff = (diff | diff>>1) & 0x5555555555555555
+		if bits.OnesCount64(diff) <= pat.k {
+			emit(automata.Report{Code: pat.code, End: p + siteLen - 1})
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package report converts raw engine match events into resolved
+// off-target sites: genomic coordinates, strand, verified mismatch
+// counts, and human-readable alignments — the post-processing stage the
+// paper's end-to-end measurements charge to the host.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/cap-repro/crisprscan/internal/automata"
+	"github.com/cap-repro/crisprscan/internal/dna"
+	"github.com/cap-repro/crisprscan/internal/genome"
+)
+
+// Site is one resolved off-target site.
+type Site struct {
+	// Guide is the index into the searched guide set.
+	Guide int
+	// Chrom and Pos locate the site: Pos is the 0-based plus-strand
+	// start of the full window (spacer plus PAM).
+	Chrom string
+	Pos   int
+	// Strand is '+' or '-'.
+	Strand byte
+	// Mismatches is the verified spacer mismatch count.
+	Mismatches int
+	// SiteSeq is the guide-oriented site sequence (reverse complemented
+	// for minus-strand sites), spacer followed by PAM.
+	SiteSeq string
+	// Alignment marks mismatched spacer positions with the genomic base
+	// and matches with '.', guide-oriented (e.g. "..A....T....").
+	Alignment string
+}
+
+// CodeFor encodes a (guide, strand) pair as an engine event code.
+func CodeFor(guide int, strand byte) int32 {
+	c := int32(guide) * 2
+	if strand == '-' {
+		c++
+	}
+	return c
+}
+
+// DecodeCode inverts CodeFor.
+func DecodeCode(code int32) (guide int, strand byte) {
+	guide = int(code / 2)
+	strand = '+'
+	if code%2 == 1 {
+		strand = '-'
+	}
+	return guide, strand
+}
+
+// Resolver turns events from one chromosome into Sites.
+type Resolver struct {
+	Guides  []dna.Pattern // spacer patterns, guide-oriented
+	PAMs    []dna.Pattern // acceptable PAM patterns (same length each)
+	SiteLen int
+	// PAM5 marks Cas12a-style geometry: in guide orientation the PAM
+	// precedes the spacer (and SiteSeq reads PAM-then-spacer).
+	PAM5 bool
+}
+
+// NewResolver builds a resolver for a guide set. All guides must share a
+// length, and all PAM patterns must share a length (multi-PAM searches
+// such as NGG plus NAG pass several).
+func NewResolver(guides []dna.Pattern, pams ...dna.Pattern) (*Resolver, error) {
+	return NewResolverOriented(guides, false, pams...)
+}
+
+// NewResolverOriented is NewResolver with a selectable PAM side (pam5 =
+// true for Cas12a-style 5' PAMs).
+func NewResolverOriented(guides []dna.Pattern, pam5 bool, pams ...dna.Pattern) (*Resolver, error) {
+	if len(guides) == 0 {
+		return nil, fmt.Errorf("report: no guides")
+	}
+	for i, g := range guides {
+		if len(g) != len(guides[0]) {
+			return nil, fmt.Errorf("report: guide %d length differs", i)
+		}
+	}
+	pamLen := 0
+	if len(pams) > 0 {
+		pamLen = len(pams[0])
+		for i, p := range pams {
+			if len(p) != pamLen {
+				return nil, fmt.Errorf("report: PAM %d length differs", i)
+			}
+		}
+	}
+	return &Resolver{Guides: guides, PAMs: pams, SiteLen: len(guides[0]) + pamLen, PAM5: pam5}, nil
+}
+
+// pamOK reports whether any accepted PAM matches w.
+func (r *Resolver) pamOK(w dna.Seq) bool {
+	if len(r.PAMs) == 0 {
+		return true
+	}
+	for _, p := range r.PAMs {
+		if p.Matches(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// Resolve converts one event on chromosome c into a Site, re-verifying
+// the match against the sequence. Engines that emitted a correct event
+// always resolve successfully; an error indicates an engine bug.
+func (r *Resolver) Resolve(c *genome.Chromosome, ev automata.Report) (Site, error) {
+	guide, strand := DecodeCode(ev.Code)
+	if guide < 0 || guide >= len(r.Guides) {
+		return Site{}, fmt.Errorf("report: event code %d outside guide set", ev.Code)
+	}
+	pos := ev.End - r.SiteLen + 1
+	if pos < 0 || ev.End >= len(c.Seq) {
+		return Site{}, fmt.Errorf("report: event end %d out of range on %s", ev.End, c.Name)
+	}
+	window := c.Seq[pos : pos+r.SiteLen]
+	oriented := window
+	if strand == '-' {
+		oriented = window.ReverseComplement()
+	}
+	var spacer, pamSeq dna.Seq
+	if r.PAM5 {
+		pamLen := r.SiteLen - len(r.Guides[guide])
+		pamSeq, spacer = oriented[:pamLen], oriented[pamLen:]
+	} else {
+		spacer, pamSeq = oriented[:len(r.Guides[guide])], oriented[len(r.Guides[guide]):]
+	}
+	if !r.pamOK(pamSeq) {
+		return Site{}, fmt.Errorf("report: PAM %s invalid at %s:%d%c", pamSeq, c.Name, pos, strand)
+	}
+	g := r.Guides[guide]
+	mism := 0
+	var align strings.Builder
+	for i, m := range g {
+		if m.Has(spacer[i]) {
+			align.WriteByte('.')
+		} else {
+			align.WriteByte(spacer[i].Char())
+			mism++
+		}
+	}
+	return Site{
+		Guide:      guide,
+		Chrom:      c.Name,
+		Pos:        pos,
+		Strand:     strand,
+		Mismatches: mism,
+		SiteSeq:    oriented.String(),
+		Alignment:  align.String(),
+	}, nil
+}
+
+// Collector accumulates sites across chromosomes with deduplication.
+type Collector struct {
+	resolver *Resolver
+	seen     map[siteKey]bool
+	sites    []Site
+	// Dropped counts duplicate events (multiple engine paths reporting
+	// the same site).
+	Dropped int
+}
+
+type siteKey struct {
+	guide  int
+	chrom  string
+	pos    int
+	strand byte
+}
+
+// NewCollector wraps a resolver.
+func NewCollector(r *Resolver) *Collector {
+	return &Collector{resolver: r, seen: make(map[siteKey]bool)}
+}
+
+// Add resolves and stores one event.
+func (col *Collector) Add(c *genome.Chromosome, ev automata.Report) error {
+	site, err := col.resolver.Resolve(c, ev)
+	if err != nil {
+		return err
+	}
+	key := siteKey{site.Guide, site.Chrom, site.Pos, site.Strand}
+	if col.seen[key] {
+		col.Dropped++
+		return nil
+	}
+	col.seen[key] = true
+	col.sites = append(col.sites, site)
+	return nil
+}
+
+// Sites returns the collected sites sorted by (chrom, pos, strand, guide).
+func (col *Collector) Sites() []Site {
+	sort.Slice(col.sites, func(i, j int) bool {
+		a, b := col.sites[i], col.sites[j]
+		if a.Chrom != b.Chrom {
+			return a.Chrom < b.Chrom
+		}
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		if a.Strand != b.Strand {
+			return a.Strand < b.Strand
+		}
+		return a.Guide < b.Guide
+	})
+	return col.sites
+}
+
+// Histogram counts sites per mismatch level.
+func Histogram(sites []Site) map[int]int {
+	h := make(map[int]int)
+	for _, s := range sites {
+		h[s.Mismatches]++
+	}
+	return h
+}
+
+// WriteBED emits sites as BED6 intervals (0-based half-open, the
+// genomics interchange convention): name = guide index, score = a
+// 0-1000 scale decreasing with mismatches.
+func WriteBED(w io.Writer, sites []Site) error {
+	for _, s := range sites {
+		score := 1000 - 150*s.Mismatches
+		if score < 0 {
+			score = 0
+		}
+		end := s.Pos + len(s.SiteSeq)
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%d\tguide%d\t%d\t%c\n",
+			s.Chrom, s.Pos, end, s.Guide, score, s.Strand); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTSV emits sites in a Cas-OFFinder-like tab-separated layout.
+func WriteTSV(w io.Writer, sites []Site) error {
+	if _, err := fmt.Fprintln(w, "guide\tchrom\tpos\tstrand\tmismatches\tsite\talignment"); err != nil {
+		return err
+	}
+	for _, s := range sites {
+		if _, err := fmt.Fprintf(w, "%d\t%s\t%d\t%c\t%d\t%s\t%s\n",
+			s.Guide, s.Chrom, s.Pos, s.Strand, s.Mismatches, s.SiteSeq, s.Alignment); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// GuideSummary aggregates one guide's off-target landscape — the
+// specificity report guide-design tools derive from the raw site list.
+type GuideSummary struct {
+	Guide int
+	// Total sites found (including any perfect on-target matches).
+	Total int
+	// ByMismatch[d] counts sites at exactly d mismatches.
+	ByMismatch map[int]int
+	// Perfect counts 0-mismatch sites (1 means a unique on-target).
+	Perfect int
+	// ClosestOffTarget is the smallest nonzero mismatch count observed,
+	// or -1 if the guide has no imperfect site (the most specific case).
+	ClosestOffTarget int
+}
+
+// Summarize groups sites per guide. numGuides fixes the output length so
+// guides with zero sites still appear.
+func Summarize(sites []Site, numGuides int) []GuideSummary {
+	out := make([]GuideSummary, numGuides)
+	for i := range out {
+		out[i] = GuideSummary{Guide: i, ByMismatch: map[int]int{}, ClosestOffTarget: -1}
+	}
+	for _, s := range sites {
+		if s.Guide < 0 || s.Guide >= numGuides {
+			continue
+		}
+		g := &out[s.Guide]
+		g.Total++
+		g.ByMismatch[s.Mismatches]++
+		if s.Mismatches == 0 {
+			g.Perfect++
+		} else if g.ClosestOffTarget < 0 || s.Mismatches < g.ClosestOffTarget {
+			g.ClosestOffTarget = s.Mismatches
+		}
+	}
+	return out
+}
+
+// WriteSummary renders the per-guide table: guide, total, per-distance
+// counts up to maxK, and the closest off-target distance.
+func WriteSummary(w io.Writer, summaries []GuideSummary, maxK int) error {
+	if _, err := fmt.Fprint(w, "guide\ttotal"); err != nil {
+		return err
+	}
+	for d := 0; d <= maxK; d++ {
+		if _, err := fmt.Fprintf(w, "\tmm%d", d); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "\tclosest"); err != nil {
+		return err
+	}
+	for _, g := range summaries {
+		if _, err := fmt.Fprintf(w, "%d\t%d", g.Guide, g.Total); err != nil {
+			return err
+		}
+		for d := 0; d <= maxK; d++ {
+			if _, err := fmt.Fprintf(w, "\t%d", g.ByMismatch[d]); err != nil {
+				return err
+			}
+		}
+		closest := "-"
+		if g.ClosestOffTarget >= 0 {
+			closest = fmt.Sprintf("%d", g.ClosestOffTarget)
+		}
+		if _, err := fmt.Fprintf(w, "\t%s\n", closest); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RankBySpecificity orders guide indices from most to least specific:
+// fewer close off-targets first (larger closest distance, then fewer
+// total imperfect sites). Ties break by guide index for determinism.
+func RankBySpecificity(summaries []GuideSummary) []int {
+	order := make([]int, len(summaries))
+	for i := range order {
+		order[i] = i
+	}
+	key := func(i int) (int, int) {
+		g := summaries[i]
+		closest := g.ClosestOffTarget
+		if closest < 0 {
+			closest = 1 << 20 // no off-target at all: best
+		}
+		return closest, g.Total - g.Perfect
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, ia := key(order[a])
+		cb, ib := key(order[b])
+		if ca != cb {
+			return ca > cb // larger closest distance = more specific
+		}
+		if ia != ib {
+			return ia < ib
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func summaryFixture() []Site {
+	return []Site{
+		{Guide: 0, Mismatches: 0},
+		{Guide: 0, Mismatches: 3},
+		{Guide: 0, Mismatches: 3},
+		{Guide: 1, Mismatches: 0},
+		{Guide: 1, Mismatches: 1},
+		{Guide: 2, Mismatches: 0},
+		// guide 3 has no sites at all
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(summaryFixture(), 4)
+	if len(s) != 4 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[0].Total != 3 || s[0].Perfect != 1 || s[0].ClosestOffTarget != 3 || s[0].ByMismatch[3] != 2 {
+		t.Errorf("guide 0: %+v", s[0])
+	}
+	if s[1].ClosestOffTarget != 1 {
+		t.Errorf("guide 1: %+v", s[1])
+	}
+	if s[2].ClosestOffTarget != -1 || s[2].Perfect != 1 {
+		t.Errorf("guide 2: %+v", s[2])
+	}
+	if s[3].Total != 0 {
+		t.Errorf("guide 3 must appear with zero sites: %+v", s[3])
+	}
+	// Out-of-range guides are ignored, not panicking.
+	_ = Summarize([]Site{{Guide: 99}}, 2)
+}
+
+func TestRankBySpecificity(t *testing.T) {
+	s := Summarize(summaryFixture(), 4)
+	order := RankBySpecificity(s)
+	// Guides 2 and 3 have no off-targets (most specific), then guide 0
+	// (closest=3), then guide 1 (closest=1).
+	pos := map[int]int{}
+	for rank, g := range order {
+		pos[g] = rank
+	}
+	if !(pos[2] < pos[0] && pos[3] < pos[0] && pos[0] < pos[1]) {
+		t.Errorf("ranking wrong: %v", order)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, Summarize(summaryFixture(), 2), 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "guide\ttotal\tmm0\tmm1\tmm2\tmm3\tclosest") {
+		t.Errorf("header: %q", out)
+	}
+	if !strings.Contains(out, "0\t3\t1\t0\t0\t2\t3") {
+		t.Errorf("guide 0 row: %q", out)
+	}
+	if !strings.Contains(out, "1\t2\t1\t1\t0\t0\t1") {
+		t.Errorf("guide 1 row: %q", out)
+	}
+}
