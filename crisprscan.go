@@ -60,6 +60,10 @@ const (
 	EngineHyperscanBitap = core.EngineHyperscanBitap
 	EngineHyperscanNFA   = core.EngineHyperscanNFA
 	EngineHyperscanDFA   = core.EngineHyperscanDFA
+	// EngineHyperscanLazy runs the on-the-fly subset construction
+	// (lazy DFA) execution path: DFA-speed scanning without the
+	// up-front determinization cost on large pattern sets.
+	EngineHyperscanLazy = core.EngineHyperscanLazy
 	// EngineCasOffinder is the brute-force baseline (measured, CPU);
 	// EngineCasOffinderGPU adds the analytic GPU timing model.
 	EngineCasOffinder    = core.EngineCasOffinder

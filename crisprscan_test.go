@@ -43,6 +43,85 @@ func TestPublicAPIGuideValidation(t *testing.T) {
 	}
 }
 
+func TestParseGuidesErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		guides  []Guide
+		wantSub string
+	}{
+		{"empty list", nil, "no guides"},
+		{"empty slice", []Guide{}, "no guides"},
+		{"invalid IUPAC character", []Guide{{Name: "bad", Spacer: "ACGT!CGT"}}, `guide "bad"`},
+		{"digit in spacer", []Guide{{Name: "num", Spacer: "ACGT1CGT"}}, "invalid IUPAC"},
+		{"mixed spacer lengths", []Guide{
+			{Name: "g0", Spacer: "ACGTACGTACGTACGTACGT"},
+			{Name: "g1", Spacer: "ACGTACGT"},
+		}, `guide "g1" length 8 differs from guide 0 (20)`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pats, err := parseGuides(tc.guides)
+			if err == nil {
+				t.Fatalf("parseGuides(%+v) succeeded, want error containing %q", tc.guides, tc.wantSub)
+			}
+			if pats != nil {
+				t.Errorf("parseGuides returned patterns alongside an error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+			if !strings.HasPrefix(err.Error(), "crisprscan: ") {
+				t.Errorf("error %q lacks the public-surface prefix", err)
+			}
+		})
+	}
+
+	// IUPAC ambiguity codes are legal spacer characters, not errors.
+	pats, err := parseGuides([]Guide{{Name: "iupac", Spacer: "ACGTRYSWKMBDHVN"}})
+	if err != nil {
+		t.Fatalf("IUPAC spacer rejected: %v", err)
+	}
+	if len(pats) != 1 || len(pats[0]) != 15 {
+		t.Fatalf("unexpected patterns: %+v", pats)
+	}
+}
+
+func TestSampleGuidesTooSmallGenome(t *testing.T) {
+	// A 10 bp genome is shorter than a single spacer+PAM window (23 bp),
+	// so no guide can be sampled at all.
+	g := SynthesizeGenome(SynthConfig{Seed: 305, ChromLen: 10})
+	_, err := SampleGuides(g, 40, 20, "NGG", 1)
+	if err == nil {
+		t.Fatal("SampleGuides on a tiny genome must error")
+	}
+	if !strings.Contains(err.Error(), "guides could be sampled") || !strings.HasPrefix(err.Error(), "crisprscan: ") {
+		t.Errorf("unexpected error text: %q", err)
+	}
+
+	// Invalid PAM surfaces the dna parse error.
+	if _, err := SampleGuides(g, 1, 20, "Q!", 1); err == nil {
+		t.Error("invalid PAM must error")
+	}
+
+	// A genome with room succeeds and returns exactly n guides.
+	big := SynthesizeGenome(SynthConfig{Seed: 306, ChromLen: 50000})
+	guides, err := SampleGuides(big, 5, 20, "NGG", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(guides) != 5 {
+		t.Fatalf("got %d guides, want 5", len(guides))
+	}
+	for i, gd := range guides {
+		if len(gd.Spacer) != 20 {
+			t.Errorf("guide %d spacer length %d", i, len(gd.Spacer))
+		}
+		if gd.Name == "" {
+			t.Errorf("guide %d has no name", i)
+		}
+	}
+}
+
 func TestPublicAPIEngineSelection(t *testing.T) {
 	g := SynthesizeGenome(SynthConfig{Seed: 303, ChromLen: 60000})
 	guides := []Guide{{Name: "g", Spacer: "ACGTACGTACGTACGTACGT"}}

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"github.com/cap-repro/crisprscan"
+	"github.com/cap-repro/crisprscan/internal/dna"
 	"github.com/cap-repro/crisprscan/internal/report"
 )
 
@@ -53,15 +54,15 @@ func main() {
 // sampleCas12a extracts spacers that occur 3' of a genomic TTTV.
 func sampleCas12a(g *crisprscan.Genome, n int) []crisprscan.Guide {
 	const spacerLen = 23
+	tttv := dna.MustParsePattern("TTTV")
 	var guides []crisprscan.Guide
 	for _, c := range g.Chroms {
-		s := c.Seq.String()
-		for i := 0; i+4+spacerLen <= len(s) && len(guides) < n; i += 997 { // stride for diversity
-			pam := s[i : i+4]
-			if pam[0] == 'T' && pam[1] == 'T' && pam[2] == 'T' && pam[3] != 'T' {
+		for i := 0; i+4+spacerLen <= len(c.Seq) && len(guides) < n; i += 997 { // stride for diversity
+			spacer := c.Seq[i+4 : i+4+spacerLen]
+			if tttv.Matches(c.Seq[i:i+4]) && !spacer.HasAmbiguous() {
 				guides = append(guides, crisprscan.Guide{
 					Name:   fmt.Sprintf("cas12a-g%d", len(guides)),
-					Spacer: s[i+4 : i+4+spacerLen],
+					Spacer: spacer.String(),
 				})
 			}
 		}

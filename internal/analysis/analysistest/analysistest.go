@@ -1,0 +1,137 @@
+// Package analysistest runs crisprlint analyzers over fixture packages
+// under testdata/src and compares reported diagnostics against `want`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the standard library only.
+//
+// A fixture file marks an expected diagnostic with a trailing comment:
+//
+//	pam[0] == 'T' // want `raw nucleotide comparison`
+//
+// The backquoted text is a regular expression matched against the
+// diagnostic message; several `want` comments may share a line by
+// repeating the marker. A fixture line without a marker must produce no
+// diagnostic.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/analysis"
+)
+
+// ModulePath is the module identity fixtures are loaded under, so
+// path-gated analyzers see realistic import paths.
+const ModulePath = "github.com/cap-repro/crisprscan"
+
+// Pkg describes one fixture package: Dir is relative to testdata/src,
+// Path is the import path the analyzer should see.
+type Pkg struct {
+	Dir  string
+	Path string
+}
+
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads every fixture package, applies the analyzer to each, and
+// reports unmatched expectations and unexpected diagnostics as test
+// errors. The testdata root is resolved relative to the caller's
+// working directory (the package under test), i.e. testdata/src.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...Pkg) {
+	t.Helper()
+	fset := token.NewFileSet()
+	prog := &analysis.Program{ModulePath: ModulePath, Packages: make(map[string]*analysis.Package)}
+	var expected []*expectation
+
+	for _, spec := range pkgs {
+		dir := filepath.Join("testdata", "src", spec.Dir)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading fixture dir: %v", err)
+		}
+		pkg := &analysis.Package{Path: spec.Path, Dir: dir}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing fixture %s: %v", path, err)
+			}
+			if pkg.Name == "" {
+				pkg.Name = f.Name.Name
+			}
+			if strings.HasSuffix(e.Name(), "_test.go") {
+				pkg.TestFiles = append(pkg.TestFiles, f)
+			} else {
+				pkg.Files = append(pkg.Files, f)
+			}
+			expected = append(expected, collectWants(t, fset, path, f)...)
+		}
+		prog.Packages[spec.Path] = pkg
+	}
+
+	diags, err := analysis.RunAnalyzers(fset, prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(expected, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	sort.Slice(expected, func(i, j int) bool { return expected[i].line < expected[j].line })
+	for _, e := range expected {
+		if !e.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, path string, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", path, m[1], err)
+				}
+				out = append(out, &expectation{
+					file: path,
+					line: fset.Position(c.Pos()).Line,
+					re:   re,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func claim(expected []*expectation, file string, line int, msg string) bool {
+	for _, e := range expected {
+		if !e.hit && e.file == file && e.line == line && e.re.MatchString(msg) {
+			e.hit = true
+			return true
+		}
+	}
+	return false
+}

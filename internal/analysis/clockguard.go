@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ClockGuard keeps the modeled platforms analytic. The AP, FPGA and
+// iNFAnt2 engines (and the arch package that defines their shared
+// timing abstractions) predict device time from published constants;
+// reading the host clock inside them would entangle simulation results
+// with wall-clock noise and break reproducibility of the paper's
+// modeled numbers. time.Now / time.Since are therefore forbidden in
+// those packages (tests included — a deterministic model needs no
+// clock even under test). The one legitimate exception,
+// arch.MeasuredSeconds (the helper the *measured* engines use), carries
+// a //crisprlint:allow clockguard directive.
+var ClockGuard = &Analyzer{
+	Name: "clockguard",
+	Doc: "modeled-platform packages (internal/ap, internal/fpga, internal/infant, " +
+		"internal/arch) must not read the host clock (time.Now/time.Since)",
+	Run: runClockGuard,
+}
+
+// clockGuardedPkgs are the module-relative package paths under guard.
+var clockGuardedPkgs = []string{
+	"internal/ap",
+	"internal/fpga",
+	"internal/infant",
+	"internal/arch",
+}
+
+func runClockGuard(pass *Pass) error {
+	guarded := false
+	for _, suffix := range clockGuardedPkgs {
+		if pass.InModulePackage(suffix) {
+			guarded = true
+			break
+		}
+	}
+	if !guarded {
+		return nil
+	}
+	for _, f := range pass.Pkg.AllFiles() {
+		// Only flag uses where `time` really is the stdlib package, not
+		// a shadowing local: check the file imports "time" unrenamed.
+		if !importsTime(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok || x.Name != "time" {
+				return true
+			}
+			if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+				pass.Reportf(sel.Pos(), "time.%s in modeled-platform package %s: analytic timing models must stay deterministic (inject measured values from the caller)",
+					sel.Sel.Name, pass.Pkg.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func importsTime(f *ast.File) bool {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == "time" && imp.Name == nil {
+			return true
+		}
+	}
+	return false
+}

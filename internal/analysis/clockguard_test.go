@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/analysis"
+	"github.com/cap-repro/crisprscan/internal/analysis/analysistest"
+)
+
+func TestClockGuardFiresInModeledPackages(t *testing.T) {
+	analysistest.Run(t, analysis.ClockGuard,
+		analysistest.Pkg{Dir: "clockguard/bad", Path: analysistest.ModulePath + "/internal/ap"})
+}
+
+func TestClockGuardHonorsAllowDirective(t *testing.T) {
+	analysistest.Run(t, analysis.ClockGuard,
+		analysistest.Pkg{Dir: "clockguard/allowed", Path: analysistest.ModulePath + "/internal/arch"})
+}
+
+func TestClockGuardSilentInMeasuredPackages(t *testing.T) {
+	analysistest.Run(t, analysis.ClockGuard,
+		analysistest.Pkg{Dir: "clockguard/okmeasured", Path: analysistest.ModulePath + "/internal/hscan"})
+}

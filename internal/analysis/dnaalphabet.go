@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// DNAAlphabet forbids ad-hoc nucleotide handling outside internal/dna,
+// the single package allowed to know the ASCII alphabet. Two rules:
+//
+//   - character rule (everywhere except internal/dna, including tests
+//     and examples): comparing a byte/rune against 'A', 'C', 'G' or 'T'
+//     — via ==, !=, or a switch case — re-implements the alphabet and
+//     silently misses lower-case, U and IUPAC codes; go through
+//     dna.BaseFromChar / dna.MaskFromChar / dna.Base instead;
+//   - literal rule (non-test files of internal packages other than
+//     internal/dna): a string literal spelling a DNA sequence
+//     (>= 6 characters of ACGTN) must be the direct argument of a
+//     dna.Parse*/MustParse* call, not raw data compared or indexed by
+//     hand. Test files and package main are exempt: fixtures and the
+//     string-typed public API legitimately spell sequences.
+var DNAAlphabet = &Analyzer{
+	Name: "dnaalphabet",
+	Doc: "raw DNA byte comparisons and bare sequence literals are forbidden outside " +
+		"internal/dna; use dna.ParsePattern/ParseSeq/Base",
+	Run: runDNAAlphabet,
+}
+
+var dnaLiteralRe = regexp.MustCompile(`^"[ACGTN]{6,}"$`)
+
+func runDNAAlphabet(pass *Pass) error {
+	if pass.InModulePackage("internal/dna") {
+		return nil
+	}
+	checkAlphabetChars(pass)
+	if strings.Contains(pass.Pkg.Path, "/internal/") && pass.Pkg.Name != "main" {
+		checkDNALiterals(pass)
+	}
+	return nil
+}
+
+func isNucleotideCharLit(e ast.Expr) bool {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind != token.CHAR {
+		return false
+	}
+	switch bl.Value {
+	case `'A'`, `'C'`, `'G'`, `'T'`:
+		return true
+	}
+	return false
+}
+
+func checkAlphabetChars(pass *Pass) {
+	inspect(pass.Pkg.AllFiles(), func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if x.Op != token.EQL && x.Op != token.NEQ {
+				return true
+			}
+			for _, side := range []ast.Expr{x.X, x.Y} {
+				if isNucleotideCharLit(side) {
+					pass.Reportf(x.Pos(), "raw nucleotide comparison against %s: use dna.BaseFromChar/dna.Base (only internal/dna knows the alphabet)",
+						side.(*ast.BasicLit).Value)
+				}
+			}
+		case *ast.CaseClause:
+			for _, e := range x.List {
+				if isNucleotideCharLit(e) {
+					pass.Reportf(e.Pos(), "raw nucleotide switch case %s: use dna.BaseFromChar/dna.Base (only internal/dna knows the alphabet)",
+						e.(*ast.BasicLit).Value)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sanctionedDNACall reports whether call is a dna parsing entry point
+// (dna.ParseSeq, dna.ParsePattern, dna.MustParseSeq, dna.MustParsePattern).
+func sanctionedDNACall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok || x.Name != "dna" {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "ParseSeq", "ParsePattern", "MustParseSeq", "MustParsePattern":
+		return true
+	}
+	return false
+}
+
+func checkDNALiterals(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		sanctioned := make(map[*ast.BasicLit]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && sanctionedDNACall(call) {
+				for _, arg := range call.Args {
+					if bl, ok := arg.(*ast.BasicLit); ok {
+						sanctioned[bl] = true
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			bl, ok := n.(*ast.BasicLit)
+			if !ok || bl.Kind != token.STRING || sanctioned[bl] {
+				return true
+			}
+			if dnaLiteralRe.MatchString(bl.Value) {
+				pass.Reportf(bl.Pos(), "raw DNA sequence literal %s: route it through dna.ParseSeq/dna.ParsePattern", bl.Value)
+			}
+			return true
+		})
+	}
+}

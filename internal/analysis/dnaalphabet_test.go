@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/analysis"
+	"github.com/cap-repro/crisprscan/internal/analysis/analysistest"
+)
+
+func TestDNAAlphabetFiresOutsideDNAPackage(t *testing.T) {
+	analysistest.Run(t, analysis.DNAAlphabet,
+		analysistest.Pkg{Dir: "dnaalphabet/bad", Path: analysistest.ModulePath + "/internal/genome"})
+}
+
+func TestDNAAlphabetSilentInsideDNAPackage(t *testing.T) {
+	analysistest.Run(t, analysis.DNAAlphabet,
+		analysistest.Pkg{Dir: "dnaalphabet/okdna", Path: analysistest.ModulePath + "/internal/dna"})
+}
+
+func TestDNAAlphabetLiteralRuleExemptsMain(t *testing.T) {
+	analysistest.Run(t, analysis.DNAAlphabet,
+		analysistest.Pkg{Dir: "dnaalphabet/okmain", Path: analysistest.ModulePath + "/examples/demo"})
+}

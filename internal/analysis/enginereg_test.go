@@ -1,0 +1,30 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/analysis"
+	"github.com/cap-repro/crisprscan/internal/analysis/analysistest"
+)
+
+const (
+	corePath = analysistest.ModulePath + "/internal/core"
+	rootPath = analysistest.ModulePath
+)
+
+func TestEngineRegFiresOnRegistryDrift(t *testing.T) {
+	analysistest.Run(t, analysis.EngineReg,
+		analysistest.Pkg{Dir: "enginereg/bad_core", Path: corePath})
+}
+
+func TestEngineRegFiresOnMissingReexport(t *testing.T) {
+	analysistest.Run(t, analysis.EngineReg,
+		analysistest.Pkg{Dir: "enginereg/ok_core", Path: corePath},
+		analysistest.Pkg{Dir: "enginereg/bad_root", Path: rootPath})
+}
+
+func TestEngineRegSilentOnConformingRegistry(t *testing.T) {
+	analysistest.Run(t, analysis.EngineReg,
+		analysistest.Pkg{Dir: "enginereg/ok_core", Path: corePath},
+		analysistest.Pkg{Dir: "enginereg/ok_root", Path: rootPath})
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap enforces the repository's error conventions on the library
+// surface (the module root package and every internal package;
+// package main CLIs print user-facing errors and are exempt, as are
+// tests):
+//
+//   - a fmt.Errorf / errors.New message must carry the package's error
+//     prefix — "<pkgname>: ..." (the root package uses "crisprscan:") —
+//     unless the format begins with a verb (dynamic prefixes like
+//     "%s: %w" are fine);
+//   - a fmt.Errorf that interpolates an error value (an identifier
+//     named err / *Err / *err) must wrap it with %w, not flatten it
+//     with %v or %s, so errors.Is/As keep working across the API.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "library errors must carry the \"<pkg>: \" prefix and wrap causes with %w " +
+		"(fmt.Errorf), keeping errors.Is/As usable across the public surface",
+	Run: runErrWrap,
+}
+
+// errIdentRe matches identifiers that by repo convention hold an error
+// value: err, wrapped variants like scanErr, and errX locals.
+var errIdentRe = regexp.MustCompile(`^(err|[a-zA-Z0-9_]*Err|err[A-Z][a-zA-Z0-9_]*)$`)
+
+func runErrWrap(pass *Pass) error {
+	if pass.Pkg.Name == "main" {
+		return nil
+	}
+	mod := ""
+	if pass.Program != nil {
+		mod = pass.Program.ModulePath
+	}
+	isRoot := pass.Pkg.Path == mod
+	if !isRoot && !strings.Contains(pass.Pkg.Path, "/internal/") {
+		return nil
+	}
+	prefix := pass.Pkg.Name
+	if isRoot {
+		prefix = "crisprscan"
+	}
+
+	inspect(pass.Pkg.Files, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		x, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch {
+		case x.Name == "fmt" && sel.Sel.Name == "Errorf":
+			checkErrorf(pass, call, prefix)
+		case x.Name == "errors" && sel.Sel.Name == "New":
+			checkErrorsNew(pass, call, prefix)
+		}
+		return true
+	})
+	return nil
+}
+
+func stringArg(e ast.Expr) (string, bool) {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+func hasPrefixConvention(msg, prefix string) bool {
+	if strings.HasPrefix(msg, "%") {
+		return true // dynamic prefix such as "%s: %w"
+	}
+	return strings.HasPrefix(msg, prefix+": ")
+}
+
+func checkErrorf(pass *Pass, call *ast.CallExpr, prefix string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	format, ok := stringArg(call.Args[0])
+	if !ok {
+		return
+	}
+	if !hasPrefixConvention(format, prefix) {
+		pass.Reportf(call.Pos(), "error message %q lacks the %q prefix convention", format, prefix+": ")
+	}
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		id, ok := arg.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if errIdentRe.MatchString(id.Name) {
+			pass.Reportf(arg.Pos(), "error value %s flattened into the message: wrap it with %%w so errors.Is/As keep working", id.Name)
+		}
+	}
+}
+
+func checkErrorsNew(pass *Pass, call *ast.CallExpr, prefix string) {
+	if len(call.Args) != 1 {
+		return
+	}
+	msg, ok := stringArg(call.Args[0])
+	if !ok {
+		return
+	}
+	if !hasPrefixConvention(msg, prefix) {
+		pass.Reportf(call.Pos(), "error message %q lacks the %q prefix convention", msg, prefix+": ")
+	}
+}

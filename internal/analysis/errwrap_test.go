@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/analysis"
+	"github.com/cap-repro/crisprscan/internal/analysis/analysistest"
+)
+
+func TestErrWrapFiresOnConventionViolations(t *testing.T) {
+	analysistest.Run(t, analysis.ErrWrap,
+		analysistest.Pkg{Dir: "errwrap/bad", Path: analysistest.ModulePath + "/internal/demo"})
+}
+
+func TestErrWrapEnforcesRootPackagePrefix(t *testing.T) {
+	analysistest.Run(t, analysis.ErrWrap,
+		analysistest.Pkg{Dir: "errwrap/badroot", Path: analysistest.ModulePath})
+}
+
+func TestErrWrapExemptsMainPackages(t *testing.T) {
+	analysistest.Run(t, analysis.ErrWrap,
+		analysistest.Pkg{Dir: "errwrap/okmain", Path: analysistest.ModulePath + "/cmd/demo"})
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// StatsDiscipline keeps the measured execution stats honest: the
+// benchmark tables and the public API document that every search
+// reports its engine name, wall-clock time, raw event count, and bytes
+// scanned. A code path that builds a core.Stats and forgets one of
+// those fields silently publishes zeros, which is exactly the kind of
+// drift a new engine or a refactored orchestrator introduces.
+//
+// The rule is flow-insensitive: for each core.Stats composite literal
+// in a non-test file of internal/core, every required field must either
+// be a key of the literal or be assigned (x.Field = ... / x.Field++ /
+// x.Field += ...) somewhere in the enclosing function. Struct-field
+// writes through any base expression count, so both the
+// literal-then-mutate style of SearchStream and the all-at-once literal
+// of Search satisfy the check.
+var StatsDiscipline = &Analyzer{
+	Name: "statsdiscipline",
+	Doc: "core.Stats construction must populate Engine, ElapsedSec, Events and " +
+		"BytesScanned (in the literal or via assignments in the same function)",
+	Run: runStatsDiscipline,
+}
+
+// requiredStatsFields are the measured fields every engine run must
+// report. Modeled-platform extras (Modeled, Resources) are optional by
+// design: they stay nil for measured engines.
+var requiredStatsFields = []string{"Engine", "ElapsedSec", "Events", "BytesScanned"}
+
+func runStatsDiscipline(pass *Pass) error {
+	if !pass.InModulePackage(corePkgSuffix) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkStatsInFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isStatsLit reports whether cl is a Stats{...} literal (package-local
+// name; core.Stats is never self-referenced with a selector in-package).
+func isStatsLit(cl *ast.CompositeLit) bool {
+	id, ok := cl.Type.(*ast.Ident)
+	return ok && id.Name == "Stats"
+}
+
+func checkStatsInFunc(pass *Pass, fd *ast.FuncDecl) {
+	// Pass 1: every Stats field name assigned anywhere in the function.
+	assigned := make(map[string]bool)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if sel, ok := lhs.(*ast.SelectorExpr); ok {
+					assigned[sel.Sel.Name] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := x.X.(*ast.SelectorExpr); ok {
+				assigned[sel.Sel.Name] = true
+			}
+		}
+		return true
+	})
+
+	// Pass 2: audit each Stats literal.
+	ast.Inspect(fd, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok || !isStatsLit(cl) {
+			return true
+		}
+		inLiteral := make(map[string]bool)
+		positional := false
+		for _, elt := range cl.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				positional = true
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				inLiteral[key.Name] = true
+			}
+		}
+		if positional {
+			// Positional literals set every field; nothing to audit.
+			return true
+		}
+		var missing []string
+		for _, field := range requiredStatsFields {
+			if !inLiteral[field] && !assigned[field] {
+				missing = append(missing, field)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			pass.Reportf(cl.Pos(), "Stats constructed without populating %s (set in the literal or assign before returning)",
+				strings.Join(missing, ", "))
+		}
+		return true
+	})
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/analysis"
+	"github.com/cap-repro/crisprscan/internal/analysis/analysistest"
+)
+
+func TestStatsDisciplineFiresOnUnpopulatedStats(t *testing.T) {
+	analysistest.Run(t, analysis.StatsDiscipline,
+		analysistest.Pkg{Dir: "statsdiscipline/bad", Path: analysistest.ModulePath + "/internal/core"})
+}
+
+func TestStatsDisciplineIgnoresForeignStatsTypes(t *testing.T) {
+	analysistest.Run(t, analysis.StatsDiscipline,
+		analysistest.Pkg{Dir: "statsdiscipline/okother", Path: analysistest.ModulePath + "/internal/automata"})
+}

@@ -1,0 +1,17 @@
+// Fixture: the //crisprlint:allow directive suppresses clockguard on
+// its own line and on the line below.
+package arch
+
+import "time"
+
+// MeasuredSeconds is the sanctioned wall-clock helper.
+func MeasuredSeconds(fn func() error) (float64, error) {
+	start := time.Now() //crisprlint:allow clockguard measured-engine helper
+	err := fn()
+	//crisprlint:allow clockguard measured-engine helper
+	return time.Since(start).Seconds(), err
+}
+
+func unguardedUse() time.Time {
+	return time.Now() // want `time.Now in modeled-platform package arch`
+}

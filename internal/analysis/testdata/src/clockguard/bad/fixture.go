@@ -1,0 +1,20 @@
+// Fixture: host-clock reads inside a modeled-platform package.
+package ap
+
+import "time"
+
+func kernelSeconds(inputLen int) float64 {
+	start := time.Now() // want `time.Now in modeled-platform package ap`
+	_ = start
+	return float64(inputLen) / 1e9
+}
+
+func drift(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in modeled-platform package ap`
+}
+
+// Deterministic uses of the time package (unit conversion, constant
+// durations) stay legal.
+func format(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).String()
+}

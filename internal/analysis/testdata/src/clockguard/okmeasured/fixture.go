@@ -1,0 +1,10 @@
+// Fixture: measured-engine packages may read the clock freely.
+package hscan
+
+import "time"
+
+func scanSeconds(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds()
+}

@@ -1,0 +1,31 @@
+// Fixture: raw alphabet handling outside internal/dna.
+package genome
+
+import "github.com/cap-repro/crisprscan/internal/dna"
+
+func classify(b byte) int {
+	if b == 'A' { // want `raw nucleotide comparison against 'A'`
+		return 0
+	}
+	if 'T' != b { // want `raw nucleotide comparison against 'T'`
+		return 1
+	}
+	switch b {
+	case 'G': // want `raw nucleotide switch case 'G'`
+		return 2
+	case '>', '-': // non-nucleotide cases are fine
+		return 3
+	}
+	return -1
+}
+
+// A bare sequence literal must go through the dna package.
+var motif = "ACGTACGTAC" // want `raw DNA sequence literal "ACGTACGTAC"`
+
+// Sanctioned: literals feeding the dna parsing entry points.
+var parsed = dna.MustParseSeq("ACGTACGTAC")
+var pattern, _ = dna.ParsePattern("ACGTNNGG")
+
+// Short IUPAC fragments (PAMs) are allowed raw: they are below the
+// literal-rule length threshold and routinely live in Params fields.
+var pam = "NGG"

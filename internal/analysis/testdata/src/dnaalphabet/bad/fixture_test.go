@@ -1,0 +1,9 @@
+// Fixture: test files may spell sequence literals (fixtures), but raw
+// nucleotide comparisons stay forbidden even in tests.
+package genome
+
+var testMotif = "ACGTACGTACGT" // literal rule exempts _test.go files
+
+func isA(b byte) bool {
+	return b == 'A' // want `raw nucleotide comparison against 'A'`
+}

@@ -1,0 +1,22 @@
+// Fixture: internal/dna is the one package allowed to know the ASCII
+// alphabet; nothing here may be flagged.
+package dna
+
+var charFromBase = [4]byte{'A', 'C', 'G', 'T'}
+
+func baseOf(b byte) int {
+	if b == 'A' {
+		return 0
+	}
+	switch b {
+	case 'C':
+		return 1
+	case 'G':
+		return 2
+	case 'T':
+		return 3
+	}
+	return -1
+}
+
+var canonical = "ACGTACGTAC"

@@ -1,0 +1,11 @@
+// Fixture: package main consumes the string-typed public API, so bare
+// sequence literals are fine there — but raw comparisons are not.
+package main
+
+var spacer = "GACGCATAAAGATGAGACGC" // literal rule exempts package main
+
+func isT(b byte) bool {
+	return b == 'T' // want `raw nucleotide comparison against 'T'`
+}
+
+func main() {}

@@ -1,0 +1,28 @@
+// Fixture: an engine registry with three parity violations.
+package core
+
+type EngineKind string
+
+const (
+	EngineAlpha EngineKind = "alpha"
+	EngineBeta  EngineKind = "beta"
+	EngineGamma EngineKind = "gamma" // want `EngineKind constant EngineGamma is missing from AllEngines`
+	EngineDelta EngineKind = "delta" // want `EngineKind constant EngineDelta is not dispatched by NewEngine`
+)
+
+var AllEngines = []EngineKind{ // want `no Test function ranges over AllEngines`
+	EngineAlpha,
+	EngineBeta,
+	EngineDelta,
+	EngineGhost, // want `AllEngines entry EngineGhost is not a declared EngineKind constant`
+}
+
+func NewEngine(kind EngineKind) (any, error) {
+	switch kind {
+	case EngineAlpha, EngineBeta:
+		return nil, nil
+	case EngineGamma:
+		return nil, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,11 @@
+// Fixture: a test suite that hardcodes engines instead of ranging over
+// AllEngines, so the parity-matrix check fires on the registry.
+package core
+
+import "testing"
+
+func TestHardcodedEngines(t *testing.T) {
+	for _, kind := range []EngineKind{EngineAlpha, EngineBeta} {
+		_ = kind
+	}
+}

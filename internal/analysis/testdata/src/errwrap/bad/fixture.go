@@ -1,0 +1,42 @@
+// Fixture: error-convention violations in a library package.
+package demo
+
+import (
+	"errors"
+	"fmt"
+)
+
+func wrongPrefix() error {
+	return fmt.Errorf("core: borrowed another package's prefix") // want `lacks the "demo: " prefix`
+}
+
+func noPrefix() error {
+	return errors.New("something broke") // want `lacks the "demo: " prefix`
+}
+
+func flattened(err error) error {
+	return fmt.Errorf("demo: scan failed: %v", err) // want `error value err flattened into the message`
+}
+
+func flattenedNamed(scanErr error) error {
+	return fmt.Errorf("demo: scan failed: %s", scanErr) // want `error value scanErr flattened into the message`
+}
+
+// Conforming forms.
+func wrapped(err error) error {
+	return fmt.Errorf("demo: scan failed: %w", err)
+}
+
+func dynamicPrefix(path string, err error) error {
+	return fmt.Errorf("%s: %w", path, err)
+}
+
+func sentinel() error {
+	return errors.New("demo: no patterns")
+}
+
+// errorsPkgName is a non-error identifier that happens to contain
+// "error": must not be mistaken for a flattened cause.
+func formatted(errorCount int) error {
+	return fmt.Errorf("demo: %d errors", errorCount)
+}

@@ -1,0 +1,12 @@
+// Fixture: the module-root package must use the "crisprscan: " prefix.
+package crisprscan
+
+import "fmt"
+
+func wrongPrefix() error {
+	return fmt.Errorf("core: this is the public surface") // want `lacks the "crisprscan: " prefix`
+}
+
+func rightPrefix() error {
+	return fmt.Errorf("crisprscan: no guides")
+}

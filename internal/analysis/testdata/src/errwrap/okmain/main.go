@@ -1,0 +1,11 @@
+// Fixture: package main prints user-facing CLI errors; the library
+// prefix convention does not apply.
+package main
+
+import "fmt"
+
+func usage() error {
+	return fmt.Errorf("no guides given (use -guides or -guide)")
+}
+
+func main() {}

@@ -1,0 +1,37 @@
+// Fixture: Stats construction paths that forget measured fields.
+package core
+
+type Stats struct {
+	Engine       string
+	ElapsedSec   float64
+	Events       int
+	BytesScanned int
+}
+
+// searchMissingOne builds the literal all at once but drops the byte
+// counter.
+func searchMissingOne(name string, elapsed float64, events int) Stats {
+	return Stats{Engine: name, ElapsedSec: elapsed, Events: events} // want `Stats constructed without populating BytesScanned`
+}
+
+// searchMissingMost forgets everything but the engine name.
+func searchMissingMost(name string) *Stats {
+	return &Stats{Engine: name} // want `Stats constructed without populating BytesScanned, ElapsedSec, Events`
+}
+
+// streamStyle is the literal-then-mutate pattern: allowed, because
+// every required field is assigned before the function returns.
+func streamStyle(name string, chunks [][]byte) *Stats {
+	stats := &Stats{Engine: name}
+	for _, c := range chunks {
+		stats.Events++
+		stats.BytesScanned += len(c)
+	}
+	stats.ElapsedSec = 0.1
+	return stats
+}
+
+// positional literals set every field by construction.
+func positional(name string) Stats {
+	return Stats{name, 0.5, 1, 2}
+}

@@ -1,0 +1,11 @@
+// Fixture: a Stats type in a package other than internal/core (the
+// automata simulator has its own) is not subject to the discipline.
+package automata
+
+type Stats struct {
+	States int
+}
+
+func snapshot(n int) Stats {
+	return Stats{States: n}
+}

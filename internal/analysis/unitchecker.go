@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` driver protocol, the same
+// contract x/tools' unitchecker speaks, so crisprlint can run inside
+// `go vet -vettool=$(which crisprlint) ./...`:
+//
+//   - `crisprlint -V=full` prints an executable fingerprint the go
+//     command uses for build caching (handled in cmd/crisprlint);
+//   - `crisprlint -flags` prints the supported analyzer flags as JSON
+//     (we expose none, so the empty list);
+//   - `crisprlint <pkg>.cfg` analyzes one package described by the JSON
+//     config the go command writes, prints findings to stderr, writes
+//     the (empty) facts file the protocol requires, and exits 2 when
+//     there are findings.
+//
+// In this mode each package is analyzed in isolation, so enginereg's
+// cross-package re-export check is skipped; the standalone multichecker
+// (and CI) covers it.
+
+// VetConfig mirrors the fields of the go command's vet config file that
+// the driver consumes. Unknown fields are ignored.
+type VetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ModulePath                string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetUnit executes the analyzers for one vet config file and returns
+// the number of diagnostics printed to w.
+func RunVetUnit(cfgPath string, w io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, fmt.Errorf("analysis: reading vet config: %w", err)
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("analysis: parsing vet config %s: %w", cfgPath, err)
+	}
+
+	// The facts file must exist even though we export no facts,
+	// otherwise the go command reports a cache failure.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, fmt.Errorf("analysis: writing facts file: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	// ImportPath for test variants looks like "pkg [pkg.test]" or
+	// "pkg_test [pkg.test]"; strip the bracketed suffix for gating.
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+
+	fset := token.NewFileSet()
+	pkg := &Package{Path: importPath, Dir: cfg.Dir}
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parseOne(fset, name)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			pkg.TestFiles = append(pkg.TestFiles, f)
+		} else {
+			pkg.Files = append(pkg.Files, f)
+		}
+	}
+	prog := &Program{
+		ModulePath: cfg.ModulePath,
+		Packages:   map[string]*Package{importPath: pkg},
+	}
+	diags, err := RunAnalyzers(fset, prog, All())
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(w, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	return len(diags), nil
+}

@@ -115,6 +115,9 @@ type Stats struct {
 	ElapsedSec float64
 	// Events is the raw match-event count before deduplication.
 	Events int
+	// BytesScanned is the total number of reference bases streamed
+	// through the engine (the throughput denominator in tables).
+	BytesScanned int
 	// Modeled holds the analytic device-time breakdown for modeled
 	// platforms (nil for measured engines).
 	Modeled *arch.Breakdown
@@ -259,10 +262,11 @@ func Search(g *genome.Genome, guides []dna.Pattern, p Params) (*Result, error) {
 		}
 	}
 	col := report.NewCollector(resolver)
-	events := 0
+	events, bytesScanned := 0, 0
 	start := time.Now()
 	for ci := range g.Chroms {
 		c := &g.Chroms[ci]
+		bytesScanned += len(c.Seq)
 		var scanErr error
 		err := engine.ScanChrom(c, func(r automata.Report) {
 			events++
@@ -286,7 +290,7 @@ func Search(g *genome.Genome, guides []dna.Pattern, p Params) (*Result, error) {
 	}
 	res := &Result{
 		Sites: sites,
-		Stats: Stats{Engine: engine.Name(), ElapsedSec: elapsed, Events: events},
+		Stats: Stats{Engine: engine.Name(), ElapsedSec: elapsed, Events: events, BytesScanned: bytesScanned},
 	}
 	if m, ok := engine.(arch.Modeled); ok {
 		b := m.EstimateBreakdown(g.TotalLen(), events)

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/dna"
+	"github.com/cap-repro/crisprscan/internal/genome"
+	"github.com/cap-repro/crisprscan/internal/report"
+)
+
+// TestCrossEngineParityMatrix is the enforced form of the paper's
+// central equivalence claim: every engine in AllEngines must return the
+// byte-identical site set across the full configuration matrix —
+// mismatch budgets 0..5, the NGG/NAG/NRG PAM family, both strands — on
+// a synthesized genome. The first engine of AllEngines provides the
+// reference; any divergence, and any EngineKind that the matrix did not
+// execute, fails the test. The enginereg analyzer statically guarantees
+// this test keeps ranging over AllEngines, so adding an engine without
+// wiring it into the registry (or the registry without this matrix)
+// cannot pass CI.
+func TestCrossEngineParityMatrix(t *testing.T) {
+	g := genome.Synthesize(genome.SynthConfig{Seed: 401, ChromLen: 20000, NumChroms: 2})
+	pam := dna.MustParsePattern("NGG")
+	raw := genome.SampleGuides(g, 3, 20, pam, 402)
+	if len(raw) < 3 {
+		t.Fatalf("fixture genome supplied only %d/3 guides", len(raw))
+	}
+	guides := make([]dna.Pattern, len(raw))
+	for i, r := range raw {
+		guides[i] = dna.PatternFromSeq(r)
+	}
+
+	budgets := []int{0, 1, 2, 3, 4, 5}
+	pams := []string{"NGG", "NAG", "NRG"}
+
+	executed := make(map[EngineKind]int)
+	for _, k := range budgets {
+		for _, pamStr := range pams {
+			name := fmt.Sprintf("k=%d/pam=%s", k, pamStr)
+			t.Run(name, func(t *testing.T) {
+				var reference []report.Site
+				var refEngine EngineKind
+				for _, kind := range AllEngines {
+					res, err := Search(g, guides, Params{
+						MaxMismatches: k,
+						PAM:           pamStr,
+						Engine:        kind,
+					})
+					if err != nil {
+						t.Fatalf("%s: %v", kind, err)
+					}
+					executed[kind]++
+					if res.Stats.BytesScanned != g.TotalLen() {
+						t.Errorf("%s: BytesScanned=%d, want %d", kind, res.Stats.BytesScanned, g.TotalLen())
+					}
+					if reference == nil {
+						reference, refEngine = res.Sites, kind
+						continue
+					}
+					if len(res.Sites) != len(reference) {
+						t.Fatalf("%s returned %d sites, %s returned %d", kind, len(res.Sites), refEngine, len(reference))
+					}
+					for i := range reference {
+						if res.Sites[i] != reference[i] {
+							t.Fatalf("%s diverges from %s at site %d: %+v vs %+v",
+								kind, refEngine, i, res.Sites[i], reference[i])
+						}
+					}
+				}
+				if k == 0 && pamStr == "NGG" && len(reference) == 0 {
+					t.Fatal("sampled guides produced no exact NGG sites: fixture is degenerate")
+				}
+			})
+		}
+	}
+
+	// Coverage: the matrix must have run every registered engine in
+	// every configuration.
+	wantRuns := len(budgets) * len(pams)
+	for _, kind := range AllEngines {
+		if executed[kind] != wantRuns {
+			t.Errorf("engine %s executed %d/%d matrix cells", kind, executed[kind], wantRuns)
+		}
+	}
+	if len(executed) != len(AllEngines) {
+		t.Errorf("matrix covered %d engines, registry has %d", len(executed), len(AllEngines))
+	}
+}

@@ -43,6 +43,7 @@ func SearchStream(r io.Reader, guides []dna.Pattern, p Params, yield func(report
 		}
 		seen[rec.ID] = true
 		seq, _ := dna.ParseSeq(string(rec.Seq))
+		stats.BytesScanned += len(seq)
 		chrom := genome.Chromosome{Name: rec.ID, Seq: seq, Packed: dna.Pack(seq)}
 		col := report.NewCollector(resolver)
 		var scanErr error
