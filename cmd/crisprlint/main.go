@@ -1,11 +1,12 @@
 // Command crisprlint is the repository's invariant checker: a
-// multichecker of five custom analyzers (enginereg, dnaalphabet,
-// statsdiscipline, errwrap, clockguard) that enforce the contracts the
-// code base otherwise keeps only by convention — engine-registry
-// parity behind the paper's "identical site set" claim, the
-// internal/dna alphabet boundary, populated execution stats, the
-// error-prefix/%w convention, and deterministic modeled-platform
-// timing.
+// multichecker of six custom analyzers (enginereg, dnaalphabet,
+// statsdiscipline, errwrap, clockguard, ctxflow) that enforce the
+// contracts the code base otherwise keeps only by convention —
+// engine-registry parity behind the paper's "identical site set"
+// claim, the internal/dna alphabet boundary, populated execution
+// stats, the error-prefix/%w convention, deterministic
+// modeled-platform timing, and context propagation through the scan
+// pipeline.
 //
 // Standalone usage (whole-module analysis, including the cross-package
 // public-API check):

@@ -9,137 +9,202 @@
 //	offtarget -genome genome.fa -guide GGGTGGGGGGAGTTTGCTCC -k 4 -pam NRG
 //	offtarget -genome genome.fa -guides guides.txt -k 2 -bulge 1
 //	offtarget -genome genome.fa -guides guides.txt -engine ap -stats
+//	offtarget -genome hg.fa -guides g.txt -stream -checkpoint scan.ckpt -o sites.tsv
 //
 // The guides file holds one spacer per line, optionally preceded by a
 // name and whitespace; '#' starts a comment.
+//
+// Robustness: -timeout bounds the whole search; SIGINT/SIGTERM trigger
+// a graceful shutdown (complete output is flushed, the checkpoint
+// journal stays valid, exit status is nonzero). With -stream
+// -checkpoint, an interrupted run resumed with identical arguments
+// appends exactly the missing chromosomes, so the final output equals
+// an uninterrupted run's byte for byte.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/cap-repro/crisprscan"
+	"github.com/cap-repro/crisprscan/internal/checkpoint"
 	"github.com/cap-repro/crisprscan/internal/report"
 )
 
+// config carries every flag so run stays testable without a flag.Parse.
+type config struct {
+	genomePath string
+	guidesPath string
+	guideSeq   string
+	k          int
+	bulge      int
+	pam        string
+	altPAM     string
+	engineName string
+	plusOnly   bool
+	workers    int
+	stats      bool
+	stream     bool
+	bed        bool
+	summary    bool
+	region     string
+	outPath    string
+	ckptPath   string
+	timeout    time.Duration
+}
+
 func main() {
-	var (
-		genomePath = flag.String("genome", "", "reference genome FASTA (required)")
-		guidesPath = flag.String("guides", "", "guide list file (one spacer per line)")
-		guideSeq   = flag.String("guide", "", "single guide spacer (alternative to -guides)")
-		k          = flag.Int("k", 3, "maximum spacer mismatches")
-		bulge      = flag.Int("bulge", 0, "maximum bulges (enables edit-distance search)")
-		pam        = flag.String("pam", "NGG", "PAM pattern (IUPAC)")
-		altPAM     = flag.String("alt-pam", "", "comma-separated additional PAMs (e.g. NAG)")
-		engineName = flag.String("engine", string(crisprscan.EngineHyperscan), "execution engine")
-		plusOnly   = flag.Bool("plus-only", false, "search the plus strand only")
-		workers    = flag.Int("workers", 1, "data-parallel width for CPU engines")
-		stats      = flag.Bool("stats", false, "print execution statistics to stderr")
-		stream     = flag.Bool("stream", false, "stream the genome chromosome-by-chromosome (constant memory)")
-		bed        = flag.Bool("bed", false, "emit BED6 instead of TSV")
-		summary    = flag.Bool("summary", false, "print a per-guide specificity summary to stderr")
-		region     = flag.String("region", "", "restrict to 'chrom' or 'chrom:start-end' (0-based half-open)")
-		outPath    = flag.String("o", "", "output TSV path (default stdout)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.genomePath, "genome", "", "reference genome FASTA (required)")
+	flag.StringVar(&cfg.guidesPath, "guides", "", "guide list file (one spacer per line)")
+	flag.StringVar(&cfg.guideSeq, "guide", "", "single guide spacer (alternative to -guides)")
+	flag.IntVar(&cfg.k, "k", 3, "maximum spacer mismatches")
+	flag.IntVar(&cfg.bulge, "bulge", 0, "maximum bulges (enables edit-distance search)")
+	flag.StringVar(&cfg.pam, "pam", "NGG", "PAM pattern (IUPAC)")
+	flag.StringVar(&cfg.altPAM, "alt-pam", "", "comma-separated additional PAMs (e.g. NAG)")
+	flag.StringVar(&cfg.engineName, "engine", string(crisprscan.EngineHyperscan), "execution engine")
+	flag.BoolVar(&cfg.plusOnly, "plus-only", false, "search the plus strand only")
+	flag.IntVar(&cfg.workers, "workers", 1, "data-parallel width for CPU engines")
+	flag.BoolVar(&cfg.stats, "stats", false, "print execution statistics to stderr")
+	flag.BoolVar(&cfg.stream, "stream", false, "stream the genome chromosome-by-chromosome (constant memory)")
+	flag.BoolVar(&cfg.bed, "bed", false, "emit BED6 instead of TSV")
+	flag.BoolVar(&cfg.summary, "summary", false, "print a per-guide specificity summary to stderr")
+	flag.StringVar(&cfg.region, "region", "", "restrict to 'chrom' or 'chrom:start-end' (0-based half-open)")
+	flag.StringVar(&cfg.outPath, "o", "", "output TSV path (default stdout)")
+	flag.StringVar(&cfg.ckptPath, "checkpoint", "", "checkpoint journal path (with -stream: resume by skipping completed chromosomes)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the search after this duration (e.g. 30m; 0 = no limit)")
 	flag.Parse()
 
-	if *genomePath == "" {
-		fail("missing -genome")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "offtarget: %v\n", err)
+		os.Exit(1)
 	}
-	guides, err := loadGuides(*guidesPath, *guideSeq)
+}
+
+// run executes one search. All output paths funnel through the
+// deferred flush/close below, so an error return (including a
+// cancellation) still delivers every row produced so far and still
+// reports flush/close failures instead of silently truncating -o.
+func run(ctx context.Context, cfg *config) (err error) {
+	if cfg.genomePath == "" {
+		return fmt.Errorf("missing -genome")
+	}
+	guides, err := loadGuides(cfg.guidesPath, cfg.guideSeq)
 	if err != nil {
-		fail("%v", err)
+		return err
+	}
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
 	}
 
-	out := os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			fail("%v", err)
+	// Resume state must be probed before the output file is opened:
+	// a resumed run appends to its previous output instead of
+	// truncating it (and does not repeat the TSV header).
+	resuming := false
+	if cfg.ckptPath != "" {
+		if !cfg.stream {
+			return fmt.Errorf("-checkpoint requires -stream")
 		}
-		defer f.Close()
-		out = f
+		doneChroms, doneSites, err := checkpoint.Probe(cfg.ckptPath)
+		if err != nil {
+			return err
+		}
+		resuming = doneChroms > 0
+		if resuming && cfg.stats {
+			fmt.Fprintf(os.Stderr, "offtarget: resuming: %d chromosomes (%d sites) already journaled in %s\n",
+				doneChroms, doneSites, cfg.ckptPath)
+		}
+	}
+
+	out := io.Writer(os.Stdout)
+	var outFile *os.File
+	if cfg.outPath != "" {
+		mode := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+		if resuming {
+			mode = os.O_WRONLY | os.O_CREATE | os.O_APPEND
+		}
+		outFile, err = os.OpenFile(cfg.outPath, mode, 0o644)
+		if err != nil {
+			return err
+		}
+		out = outFile
 	}
 	w := bufio.NewWriter(out)
-	defer w.Flush()
+	defer func() {
+		// Flush before close, and surface either failure: os.Exit in
+		// the old fail() helper used to skip both, truncating -o.
+		if ferr := w.Flush(); ferr != nil && err == nil {
+			err = fmt.Errorf("flushing output: %w", ferr)
+		}
+		if outFile != nil {
+			if cerr := outFile.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("closing %s: %w", cfg.outPath, cerr)
+			}
+		}
+	}()
 
 	var alts []string
-	if *altPAM != "" {
-		alts = strings.Split(*altPAM, ",")
+	if cfg.altPAM != "" {
+		alts = strings.Split(cfg.altPAM, ",")
 	}
 	params := crisprscan.Params{
-		MaxMismatches: *k, PAM: *pam, AltPAMs: alts, Region: *region, PlusStrandOnly: *plusOnly,
-		Engine: crisprscan.Engine(*engineName), Workers: *workers,
+		MaxMismatches: cfg.k, PAM: cfg.pam, AltPAMs: alts, Region: cfg.region, PlusStrandOnly: cfg.plusOnly,
+		Engine: crisprscan.Engine(cfg.engineName), Workers: cfg.workers,
 	}
 
-	if *stream {
-		if *bulge > 0 {
-			fail("-stream does not support -bulge")
-		}
-		f, err := os.Open(*genomePath)
-		if err != nil {
-			fail("%v", err)
-		}
-		defer f.Close()
-		count := 0
-		var sites []crisprscan.Site
-		st, err := crisprscan.SearchStream(f, guides, params, func(s crisprscan.Site) error {
-			count++
-			sites = append(sites, s)
-			return nil
-		})
-		if err != nil {
-			fail("%v", err)
-		}
-		if err := writeSites(w, sites, *bed); err != nil {
-			fail("%v", err)
-		}
-		if *stats {
-			fmt.Fprintf(os.Stderr, "offtarget: engine=%s sites=%d events=%d elapsed=%.3fs (streamed)\n",
-				st.Engine, count, st.Events, st.ElapsedSec)
-		}
-		return
+	if cfg.stream {
+		return runStream(ctx, cfg, guides, params, w, resuming)
 	}
 
-	g, err := crisprscan.LoadGenome(*genomePath)
+	g, err := crisprscan.LoadGenome(cfg.genomePath)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 
-	if *bulge > 0 {
+	if cfg.bulge > 0 {
 		sites, err := crisprscan.SearchBulge(g, guides, crisprscan.BulgeParams{
-			MaxMismatches: *k, MaxBulge: *bulge, PAM: *pam, PlusStrandOnly: *plusOnly,
+			MaxMismatches: cfg.k, MaxBulge: cfg.bulge, PAM: cfg.pam, PlusStrandOnly: cfg.plusOnly,
 		})
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
 		fmt.Fprintln(w, "guide\tchrom\tpos\tlen\tstrand\tmismatches\tbulges\tsite")
 		for _, s := range sites {
 			fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%c\t%d\t%d\t%s\n",
 				s.Guide, s.Chrom, s.Pos, s.Len, s.Strand, s.Mismatches, s.Bulges, s.SiteSeq)
 		}
-		if *stats {
+		if cfg.stats {
 			fmt.Fprintf(os.Stderr, "offtarget: %d bulge-tolerant sites\n", len(sites))
 		}
-		return
+		return nil
 	}
 
-	res, err := crisprscan.Search(g, guides, params)
+	res, err := crisprscan.SearchContext(ctx, g, guides, params)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
-	if err := writeSites(w, res.Sites, *bed); err != nil {
-		fail("%v", err)
+	if err := writeSites(w, res.Sites, cfg.bed); err != nil {
+		return err
 	}
-	if *summary {
-		if err := report.WriteSummary(os.Stderr, report.Summarize(res.Sites, len(guides)), *k); err != nil {
-			fail("%v", err)
+	if cfg.summary {
+		if err := report.WriteSummary(os.Stderr, report.Summarize(res.Sites, len(guides)), cfg.k); err != nil {
+			return err
 		}
 	}
-	if *stats {
+	if cfg.stats {
 		fmt.Fprintf(os.Stderr, "offtarget: engine=%s sites=%d events=%d elapsed=%.3fs\n",
 			res.Stats.Engine, len(res.Sites), res.Stats.Events, res.Stats.ElapsedSec)
 		if res.Stats.Modeled != nil {
@@ -151,6 +216,59 @@ func main() {
 				r.States, r.Passes, r.Utilization()*100)
 		}
 	}
+	return nil
+}
+
+// runStream executes the constant-memory streaming mode: rows are
+// written from the yield callback as each chromosome completes (never
+// buffered genome-wide), and with -checkpoint each chromosome is
+// journaled after its rows reach the output writer.
+func runStream(ctx context.Context, cfg *config, guides []crisprscan.Guide, params crisprscan.Params, w *bufio.Writer, resuming bool) error {
+	if cfg.bulge > 0 {
+		return fmt.Errorf("-stream does not support -bulge")
+	}
+	if cfg.region != "" {
+		return fmt.Errorf("-stream does not support -region")
+	}
+	f, err := os.Open(cfg.genomePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	if !cfg.bed && !resuming {
+		if err := crisprscan.WriteSitesTSVHeader(w); err != nil {
+			return err
+		}
+	}
+	count := 0
+	emit := func(s crisprscan.Site) error {
+		count++
+		if cfg.bed {
+			return crisprscan.WriteSiteBED(w, s)
+		}
+		return crisprscan.WriteSiteTSV(w, s)
+	}
+
+	var st *crisprscan.Stats
+	if cfg.ckptPath != "" {
+		st, err = crisprscan.SearchStreamCheckpoint(ctx, f, guides, params, cfg.ckptPath, w.Flush, emit)
+	} else {
+		st, err = crisprscan.SearchStreamContext(ctx, f, guides, params, nil, emit)
+	}
+	if cfg.stats && st != nil {
+		fmt.Fprintf(os.Stderr, "offtarget: engine=%s sites=%d events=%d elapsed=%.3fs (streamed)\n",
+			st.Engine, count, st.Events, st.ElapsedSec)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cfg.ckptPath != "" {
+				return fmt.Errorf("%w (progress saved; rerun the same command to resume from %s)", err, cfg.ckptPath)
+			}
+		}
+		return err
+	}
+	return nil
 }
 
 // loadGuides reads guides from a file, a literal flag, or both.
@@ -199,9 +317,4 @@ func writeSites(w *bufio.Writer, sites []crisprscan.Site, bed bool) error {
 		return crisprscan.WriteSitesBED(w, sites)
 	}
 	return crisprscan.WriteSitesTSV(w, sites)
-}
-
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "offtarget: "+format+"\n", args...)
-	os.Exit(1)
 }

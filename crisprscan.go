@@ -23,9 +23,13 @@
 package crisprscan
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
+	"github.com/cap-repro/crisprscan/internal/checkpoint"
 	"github.com/cap-repro/crisprscan/internal/core"
 	"github.com/cap-repro/crisprscan/internal/dna"
 	"github.com/cap-repro/crisprscan/internal/fasta"
@@ -184,15 +188,9 @@ func parseGuides(guides []Guide) ([]dna.Pattern, error) {
 	return pats, nil
 }
 
-// Search finds every genomic site matching any guide within the
-// mismatch budget, PAM-adjacent, on the selected engine. Sites are
-// verified against the sequence, deduplicated and sorted.
-func Search(g *Genome, guides []Guide, p Params) (*Result, error) {
-	pats, err := parseGuides(guides)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.Search(g, pats, core.Params{
+// coreParams converts the public Params to the orchestrator's form.
+func coreParams(p Params) core.Params {
+	return core.Params{
 		MaxMismatches:     p.MaxMismatches,
 		PAM:               p.PAM,
 		AltPAMs:           p.AltPAMs,
@@ -205,11 +203,33 @@ func Search(g *Genome, guides []Guide, p Params) (*Result, error) {
 		MaxSeedMismatches: p.MaxSeedMismatches,
 		MergeStates:       p.MergeStates,
 		Stride2:           p.Stride2,
-	})
+	}
+}
+
+// Search finds every genomic site matching any guide within the
+// mismatch budget, PAM-adjacent, on the selected engine. Sites are
+// verified against the sequence, deduplicated and sorted.
+func Search(g *Genome, guides []Guide, p Params) (*Result, error) {
+	return SearchContext(context.Background(), g, guides, p)
+}
+
+// SearchContext is Search bounded by ctx: the scan honors cancellation
+// and deadlines between chromosomes, and — on the data-parallel CPU
+// engines — at chunk granularity inside a chromosome, so even a
+// single-chromosome multi-gigabase scan aborts promptly. On
+// cancellation the returned Result is non-nil and holds the sites and
+// stats accumulated before the abort, and the error wraps
+// context.Canceled or context.DeadlineExceeded (test with errors.Is).
+func SearchContext(ctx context.Context, g *Genome, guides []Guide, p Params) (*Result, error) {
+	pats, err := parseGuides(guides)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Sites: res.Sites, Stats: res.Stats}, nil
+	res, err := core.SearchContext(ctx, g, pats, coreParams(p))
+	if res == nil {
+		return nil, err
+	}
+	return &Result{Sites: res.Sites, Stats: res.Stats}, err
 }
 
 // BulgeParams configures SearchBulge.
@@ -246,27 +266,101 @@ func WriteSitesTSV(w io.Writer, sites []Site) error { return report.WriteTSV(w, 
 // WriteSitesBED writes sites as BED6 intervals.
 func WriteSitesBED(w io.Writer, sites []Site) error { return report.WriteBED(w, sites) }
 
+// WriteSitesTSVHeader writes the TSV column header; pair it with
+// WriteSiteTSV to emit rows incrementally from a SearchStream yield
+// callback (constant memory, byte-identical to WriteSitesTSV).
+func WriteSitesTSVHeader(w io.Writer) error { return report.WriteTSVHeader(w) }
+
+// WriteSiteTSV writes one site as a TSV row.
+func WriteSiteTSV(w io.Writer, s Site) error { return report.WriteTSVRow(w, s) }
+
+// WriteSiteBED writes one site as a BED6 row.
+func WriteSiteBED(w io.Writer, s Site) error { return report.WriteBEDRow(w, s) }
+
 // SearchStream scans a FASTA stream one chromosome at a time, keeping
 // memory proportional to the largest chromosome — the mode a full
 // 3.1 Gbp reference requires. Verified sites are delivered to yield as
 // each chromosome completes; returning an error from yield aborts the
 // scan.
 func SearchStream(r io.Reader, guides []Guide, p Params, yield func(Site) error) (*Stats, error) {
+	return SearchStreamContext(context.Background(), r, guides, p, nil, yield)
+}
+
+// StreamControl customizes a streaming search for checkpoint/resume;
+// see the core package's documentation of the identical type. A nil
+// control streams every chromosome with no completion hook.
+type StreamControl = core.StreamControl
+
+// SearchStreamContext is SearchStream bounded by ctx and tunable with
+// ctrl. Every site delivered to yield belongs to a fully completed
+// chromosome: a chromosome aborted mid-scan (cancellation, engine
+// fault) yields nothing, which is what makes chromosome-granularity
+// checkpointing sound. On any error after startup the returned Stats
+// is non-nil and describes the work completed before the failure; the
+// error wraps its cause (context.Canceled, the reader's error, ...).
+func SearchStreamContext(ctx context.Context, r io.Reader, guides []Guide, p Params, ctrl *StreamControl, yield func(Site) error) (*Stats, error) {
 	pats, err := parseGuides(guides)
 	if err != nil {
 		return nil, err
 	}
-	return core.SearchStream(r, pats, core.Params{
-		MaxMismatches:     p.MaxMismatches,
-		PAM:               p.PAM,
-		AltPAMs:           p.AltPAMs,
-		PAM5:              p.PAM5,
-		PlusStrandOnly:    p.PlusStrandOnly,
-		Engine:            p.Engine,
-		Workers:           p.Workers,
-		SeedLen:           p.SeedLen,
-		MaxSeedMismatches: p.MaxSeedMismatches,
-		MergeStates:       p.MergeStates,
-		Stride2:           p.Stride2,
-	}, yield)
+	p.Region = "" // regions apply to in-memory search only
+	return core.SearchStreamContext(ctx, r, pats, coreParams(p), ctrl, yield)
+}
+
+// FingerprintParams renders the checkpoint identity of a (guides,
+// params) combination: every knob that changes the produced site set
+// participates, so two searches fingerprint equal exactly when their
+// outputs are interchangeable.
+func FingerprintParams(guides []Guide, p Params) string {
+	spacers := make([]string, len(guides))
+	for i, g := range guides {
+		spacers[i] = strings.ToUpper(g.Spacer)
+	}
+	eng := p.Engine
+	if eng == "" {
+		eng = EngineHyperscan
+	}
+	pam := p.PAM
+	if pam == "" {
+		pam = "NGG"
+	}
+	alts := append([]string(nil), p.AltPAMs...)
+	fields := checkpoint.CanonicalFields(spacers, map[string]string{
+		"k":        strconv.Itoa(p.MaxMismatches),
+		"pam":      strings.ToUpper(pam),
+		"altpams":  strings.ToUpper(strings.Join(alts, ",")),
+		"pam5":     strconv.FormatBool(p.PAM5),
+		"plusonly": strconv.FormatBool(p.PlusStrandOnly),
+		"engine":   string(eng),
+		"seed":     strconv.Itoa(p.SeedLen) + "/" + strconv.Itoa(p.MaxSeedMismatches),
+	})
+	return checkpoint.Fingerprint(fields...)
+}
+
+// SearchStreamCheckpoint is SearchStreamContext with chromosome-
+// granularity checkpoint/resume journaled at path: chromosomes the
+// journal already lists are skipped, and each newly completed
+// chromosome is committed to the journal (atomic write-rename) after
+// its sites have been yielded — and after flush, when non-nil, has
+// succeeded, so callers can force their output downstream of yield to
+// stable storage before the chromosome is marked done (at-least-once
+// delivery). A journal written under different guides or Params is
+// rejected with a fingerprint error before any scanning starts.
+func SearchStreamCheckpoint(ctx context.Context, r io.Reader, guides []Guide, p Params, path string, flush func() error, yield func(Site) error) (*Stats, error) {
+	j, err := checkpoint.Open(path, FingerprintParams(guides, p))
+	if err != nil {
+		return nil, err
+	}
+	ctrl := &StreamControl{
+		SkipChrom: j.Done,
+		ChromDone: func(name string, sites int, scannedBases int64) error {
+			if flush != nil {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+			return j.Commit(checkpoint.Entry{Chrom: name, Sites: sites, ScannedBases: scannedBases})
+		},
+	}
+	return SearchStreamContext(ctx, r, guides, p, ctrl, yield)
 }

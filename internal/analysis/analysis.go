@@ -1,10 +1,11 @@
 // Package analysis is a self-contained static-analysis framework for
 // the crisprscan repository, modeled on golang.org/x/tools/go/analysis
 // but built only on the standard library so the repo stays
-// dependency-free. It hosts the five crisprlint analyzers that turn the
+// dependency-free. It hosts the six crisprlint analyzers that turn the
 // repo's cross-cutting invariants — engine-registry parity, DNA
-// alphabet hygiene, stats discipline, error-wrapping convention, and
-// deterministic timing models — into machine-checked rules.
+// alphabet hygiene, stats discipline, error-wrapping convention,
+// deterministic timing models, and context propagation through the
+// scan pipeline — into machine-checked rules.
 //
 // The framework is deliberately small: analyzers are purely syntactic
 // (AST + token positions, no type checking), which keeps the driver
@@ -195,9 +196,9 @@ func RunAnalyzers(fset *token.FileSet, prog *Program, analyzers []*Analyzer) ([]
 	return all, nil
 }
 
-// All returns the five crisprlint analyzers in stable order.
+// All returns the six crisprlint analyzers in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{EngineReg, DNAAlphabet, StatsDiscipline, ErrWrap, ClockGuard}
+	return []*Analyzer{EngineReg, DNAAlphabet, StatsDiscipline, ErrWrap, ClockGuard, CtxFlow}
 }
 
 // inspect walks every node of the files, calling fn; fn returning

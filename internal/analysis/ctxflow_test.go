@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/analysis"
+	"github.com/cap-repro/crisprscan/internal/analysis/analysistest"
+)
+
+func TestCtxFlowFiresInScanPackages(t *testing.T) {
+	analysistest.Run(t, analysis.CtxFlow,
+		analysistest.Pkg{Dir: "ctxflow/bad", Path: analysistest.ModulePath + "/internal/core"})
+}
+
+func TestCtxFlowAcceptsPropagation(t *testing.T) {
+	analysistest.Run(t, analysis.CtxFlow,
+		analysistest.Pkg{Dir: "ctxflow/ok", Path: analysistest.ModulePath + "/internal/hscan"})
+}
+
+func TestCtxFlowSilentOutsideScanPackages(t *testing.T) {
+	analysistest.Run(t, analysis.CtxFlow,
+		analysistest.Pkg{Dir: "ctxflow/okother", Path: analysistest.ModulePath + "/internal/report"})
+}

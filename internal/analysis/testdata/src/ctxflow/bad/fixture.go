@@ -1,0 +1,32 @@
+// Fixture: severed context plumbing inside a gated scan package.
+package core
+
+import "context"
+
+func helper(ctx context.Context) error { return ctx.Err() }
+
+// SearchAll ignores the ctx it was handed entirely.
+func SearchAll(ctx context.Context, n int) error { // want `exported function SearchAll never uses its context.Context parameter "ctx"`
+	return helper(context.Background()) // want `SearchAll manufactures a fresh context despite receiving one`
+}
+
+// ScanSpan substitutes TODO for the caller's ctx (and "uses" ctx only
+// for the error check, which rule 1 accepts — rule 2 still fires).
+func ScanSpan(ctx context.Context, lo, hi int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return helper(context.TODO()) // want `ScanSpan manufactures a fresh context despite receiving one`
+}
+
+// Drain discards the parameter outright.
+func Drain(_ context.Context, n int) int { return n } // want `exported function Drain discards its context.Context parameter`
+
+// nested literals inherit the in-scope ctx.
+func ScanNested(ctx context.Context) error {
+	_ = ctx
+	f := func() error {
+		return helper(context.Background()) // want `ScanNested manufactures a fresh context despite receiving one`
+	}
+	return f()
+}

@@ -1,0 +1,32 @@
+// Fixture: healthy context plumbing — nothing here should fire.
+package hscan
+
+import "context"
+
+func scanRange(ctx context.Context, lo, hi int) error { return ctx.Err() }
+
+// ScanChromContext propagates its ctx downward.
+func ScanChromContext(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := scanRange(ctx, i, i+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanChrom is the sanctioned ctx-less compatibility bridge: it takes
+// no context, so manufacturing the background one is legal here.
+func ScanChrom(n int) error {
+	return ScanChromContext(context.Background(), n)
+}
+
+// Abort only checks Done, which is propagation enough.
+func Abort(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}

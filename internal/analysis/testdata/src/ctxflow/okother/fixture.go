@@ -1,0 +1,12 @@
+// Fixture: a package outside the gated scan pipeline — ctxflow must
+// stay silent even where its rules would otherwise fire.
+package report
+
+import "context"
+
+func helper(ctx context.Context) error { return ctx.Err() }
+
+// Summarize ignores its ctx and manufactures a fresh one; legal here.
+func Summarize(ctx context.Context, n int) error {
+	return helper(context.Background())
+}

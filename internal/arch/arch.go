@@ -13,7 +13,11 @@
 package arch
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/cap-repro/crisprscan/internal/automata"
@@ -90,6 +94,133 @@ type Engine interface {
 	// ScanChrom scans one chromosome and emits every match event.
 	// End positions are 0-based indices of the last matched base.
 	ScanChrom(c *genome.Chromosome, emit func(automata.Report)) error
+}
+
+// ContextEngine is implemented by engines that can honor cancellation
+// mid-chromosome. The orchestrator prefers this interface when present;
+// engines without it are only cancellable between chromosomes.
+type ContextEngine interface {
+	Engine
+	// ScanChromContext is ScanChrom bounded by ctx: the scan stops at
+	// the next internal chunk boundary once ctx is done and returns an
+	// error wrapping ctx.Err(). No events are emitted for an aborted
+	// chromosome.
+	ScanChromContext(ctx context.Context, c *genome.Chromosome, emit func(automata.Report)) error
+}
+
+// ScanChrom dispatches a chromosome scan through ScanChromContext when
+// the engine implements it, falling back to the plain interface (which
+// then only honors ctx between chromosomes, at the caller's checks).
+func ScanChrom(ctx context.Context, e Engine, c *genome.Chromosome, emit func(automata.Report)) error {
+	if ce, ok := e.(ContextEngine); ok {
+		return ce.ScanChromContext(ctx, c, emit)
+	}
+	return e.ScanChrom(c, emit)
+}
+
+// DefaultChunk is the work-unit size, in input positions, that
+// ChunkScan hands to pool workers. It bounds both cancellation latency
+// (ctx is checked between chunks) and the blast radius of a worker
+// panic (the error names one chunk).
+const DefaultChunk = 1 << 16
+
+// ChunkScan partitions the position range [0, total) into fixed-size
+// chunks and drains them through a pool of worker goroutines. It is the
+// one place the data-parallel CPU engines spawn goroutines, so the
+// robustness invariants live here once:
+//
+//   - ctx is checked before every chunk; once it is done, workers stop
+//     and the pool returns an error wrapping ctx.Err();
+//   - a panic inside scan is recovered, converted to an error carrying
+//     the offending chunk's coordinates, and cancels the sibling
+//     workers — a scan bug degrades to an error, never a process crash;
+//   - on success the per-chunk event batches are returned in chunk
+//     order, so emission order is deterministic regardless of worker
+//     interleaving. On any error no events are returned.
+//
+// scan is called with [lo, hi) chunk bounds and appends its events to
+// *out; it must not retain out across calls.
+func ChunkScan(ctx context.Context, label string, workers, total, chunkSize int, scan func(lo, hi int, out *[]automata.Report) error) ([][]automata.Report, error) {
+	if total <= 0 {
+		return nil, nil
+	}
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunk
+	}
+	n := (total + chunkSize - 1) / chunkSize
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([][]automata.Report, n)
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := cctx.Err(); err != nil {
+					errs[w] = fmt.Errorf("arch: %s canceled at chunk %d/%d: %w", label, i, n, err)
+					return
+				}
+				lo := i * chunkSize
+				hi := lo + chunkSize
+				if hi > total {
+					hi = total
+				}
+				if err := runChunk(label, i, lo, hi, scan, &out[i]); err != nil {
+					errs[w] = err
+					cancel()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := firstScanError(errs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runChunk executes one chunk under a panic guard.
+func runChunk(label string, idx, lo, hi int, scan func(lo, hi int, out *[]automata.Report) error, out *[]automata.Report) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("arch: %s: worker panic on chunk %d [%d:%d): %v", label, idx, lo, hi, r)
+		}
+	}()
+	return scan(lo, hi, out)
+}
+
+// firstScanError picks the error to surface from a pool run: a real
+// failure (panic or scan error) beats the cancellation errors the
+// sibling workers report after cancel() fires.
+func firstScanError(errs []error) error {
+	var ctxErr error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if errors.Is(e, context.Canceled) || errors.Is(e, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = e
+			}
+			continue
+		}
+		return e
+	}
+	return ctxErr
 }
 
 // Modeled is implemented by platform models that, in addition to

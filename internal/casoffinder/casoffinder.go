@@ -16,10 +16,10 @@
 package casoffinder
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
-	"sync"
 
 	"github.com/cap-repro/crisprscan/internal/arch"
 	"github.com/cap-repro/crisprscan/internal/automata"
@@ -57,6 +57,11 @@ type Engine struct {
 	// Workers is the data-parallel width (1 = faithful single-queue;
 	// larger mirrors the GPU's position parallelism).
 	Workers int
+
+	// chunkHook, when set, runs at the start of every pool chunk with
+	// the chunk's [lo, hi) candidate-position bounds. Tests use it to
+	// inject panics and trigger cancellation; it is nil in production.
+	chunkHook func(lo, hi int)
 }
 
 // New compiles the pattern set.
@@ -147,8 +152,18 @@ func codeOf(b dna.Base) int {
 	return int(b)
 }
 
-// ScanChrom implements arch.Engine.
+// ScanChrom implements arch.Engine. It is the ctx-less compatibility
+// bridge; cancellation-aware callers use ScanChromContext.
 func (e *Engine) ScanChrom(c *genome.Chromosome, emit func(automata.Report)) error {
+	return e.ScanChromContext(context.Background(), c, emit)
+}
+
+// ScanChromContext implements arch.ContextEngine: candidate window
+// positions drain through the arch.ChunkScan worker pool, which checks
+// ctx between chunks (so cancellation latency is bounded by
+// arch.DefaultChunk positions) and isolates worker panics into errors
+// naming the chunk.
+func (e *Engine) ScanChromContext(ctx context.Context, c *genome.Chromosome, emit func(automata.Report)) error {
 	total := len(c.Seq) - e.siteLen + 1
 	if total <= 0 {
 		return nil
@@ -157,32 +172,18 @@ func (e *Engine) ScanChrom(c *genome.Chromosome, emit func(automata.Report)) err
 	if workers > runtime.NumCPU() {
 		workers = runtime.NumCPU()
 	}
-	if workers <= 1 {
-		for _, r := range e.scanSpan(c, 0, total) {
-			emit(r)
-		}
-		return nil
+	chunks, err := arch.ChunkScan(ctx, e.Name()+" "+c.Name, workers, total, arch.DefaultChunk,
+		func(lo, hi int, out *[]automata.Report) error {
+			if h := e.chunkHook; h != nil {
+				h(lo, hi)
+			}
+			*out = e.scanSpan(c, lo, hi)
+			return nil
+		})
+	if err != nil {
+		return err
 	}
-	chunk := (total + workers - 1) / workers
-	results := make([][]automata.Report, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= total {
-			break
-		}
-		hi := lo + chunk
-		if hi > total {
-			hi = total
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			results[w] = e.scanSpan(c, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, rs := range results {
+	for _, rs := range chunks {
 		for _, r := range rs {
 			emit(r)
 		}

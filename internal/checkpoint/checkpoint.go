@@ -1,0 +1,215 @@
+// Package checkpoint makes long streaming scans resumable: a sidecar
+// journal records each fully completed chromosome (name, site count,
+// cumulative reference bases scanned) together with a fingerprint of
+// the search parameters, so an interrupted offtarget -stream run can be
+// restarted and skip straight past the work it already finished — and a
+// resume attempt with different parameters (a different k, PAM, or
+// engine would produce a different site set) is rejected instead of
+// silently stitching incompatible outputs together.
+//
+// The journal is a single JSON document rewritten via write-to-temp +
+// rename after every committed chromosome, so a crash at any instant
+// leaves either the previous journal or the new one on disk, never a
+// torn file. Commit ordering is at-least-once: callers flush their
+// output before Commit, so a hard crash between the two can only cause
+// a completed chromosome to be re-emitted on resume, never dropped.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Entry records one completed chromosome.
+type Entry struct {
+	// Chrom is the FASTA record ID.
+	Chrom string `json:"chrom"`
+	// Sites is the number of off-target sites the chromosome yielded.
+	Sites int `json:"sites"`
+	// ScannedBases is the cumulative reference bases scanned through the
+	// end of this chromosome (the Stats.BytesScanned watermark).
+	ScannedBases int64 `json:"scanned_bases"`
+}
+
+// journalFile is the on-disk JSON shape.
+type journalFile struct {
+	// Version guards the format itself.
+	Version int `json:"version"`
+	// Fingerprint identifies the (params, guides) combination the
+	// journal belongs to; see Fingerprint.
+	Fingerprint string  `json:"fingerprint"`
+	Entries     []Entry `json:"entries"`
+}
+
+const formatVersion = 1
+
+// Journal is an open checkpoint journal.
+type Journal struct {
+	path string
+	file journalFile
+	done map[string]bool
+}
+
+// Fingerprint hashes an ordered list of parameter fields into the
+// journal identity. Callers pass every knob that changes the site set
+// (guides, k, PAMs, strand selection, engine); any difference yields a
+// different fingerprint and Open rejects the resume.
+func Fingerprint(fields ...string) string {
+	h := sha256.New()
+	for _, f := range fields {
+		fmt.Fprintf(h, "%d:%s\n", len(f), f)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// Open loads the journal at path, creating an empty one (in memory
+// only; nothing is written until the first Commit) if the file does not
+// exist. A journal written under a different fingerprint is rejected.
+func Open(path, fingerprint string) (*Journal, error) {
+	j := &Journal{
+		path: path,
+		file: journalFile{Version: formatVersion, Fingerprint: fingerprint},
+		done: make(map[string]bool),
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return j, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading journal: %w", err)
+	}
+	if err := json.Unmarshal(data, &j.file); err != nil {
+		return nil, fmt.Errorf("checkpoint: journal %s is corrupt: %w", path, err)
+	}
+	if j.file.Version != formatVersion {
+		return nil, fmt.Errorf("checkpoint: journal %s has format version %d, this build reads %d", path, j.file.Version, formatVersion)
+	}
+	if j.file.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("checkpoint: journal %s was written by a search with different parameters (fingerprint %s, this run %s): resume with the original guides/k/PAM/engine or delete the journal", path, j.file.Fingerprint, fingerprint)
+	}
+	for _, e := range j.file.Entries {
+		if j.done[e.Chrom] {
+			return nil, fmt.Errorf("checkpoint: journal %s lists chromosome %q twice", path, e.Chrom)
+		}
+		j.done[e.Chrom] = true
+	}
+	return j, nil
+}
+
+// Probe reports how many chromosomes (and sites) a journal at path has
+// already completed, without fingerprint validation — the CLI uses it
+// to decide between fresh-output and append-to-output mode before the
+// search (and its full validation via Open) starts. A missing file
+// probes as zero work done.
+func Probe(path string) (chroms, sites int, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("checkpoint: probing journal: %w", err)
+	}
+	var f journalFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, 0, fmt.Errorf("checkpoint: journal %s is corrupt: %w", path, err)
+	}
+	for _, e := range f.Entries {
+		sites += e.Sites
+	}
+	return len(f.Entries), sites, nil
+}
+
+// Done reports whether the named chromosome is already journaled as
+// complete.
+func (j *Journal) Done(chrom string) bool { return j.done[chrom] }
+
+// Chroms returns the number of journaled chromosomes.
+func (j *Journal) Chroms() int { return len(j.file.Entries) }
+
+// Sites returns the total journaled site count.
+func (j *Journal) Sites() int {
+	n := 0
+	for _, e := range j.file.Entries {
+		n += e.Sites
+	}
+	return n
+}
+
+// Commit appends one completed chromosome and atomically rewrites the
+// journal file (write temp, fsync, rename).
+func (j *Journal) Commit(e Entry) error {
+	if j.done[e.Chrom] {
+		return fmt.Errorf("checkpoint: chromosome %q committed twice", e.Chrom)
+	}
+	j.file.Entries = append(j.file.Entries, e)
+	j.done[e.Chrom] = true
+	data, err := json.MarshalIndent(&j.file, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding journal: %w", err)
+	}
+	data = append(data, '\n')
+	return atomicWrite(j.path, data)
+}
+
+// atomicWrite replaces path with data via a same-directory temp file
+// and rename, so readers never observe a torn journal.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating temp journal: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: writing journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: syncing journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: closing temp journal: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: installing journal: %w", err)
+	}
+	return nil
+}
+
+// CanonicalFields builds the fingerprint field list for a search: the
+// guide spacers in order, then each labeled parameter. Keeping the
+// serialization in one place means the library and any future tool
+// fingerprint identically.
+func CanonicalFields(spacers []string, labeled map[string]string) []string {
+	fields := make([]string, 0, len(spacers)+len(labeled)+1)
+	fields = append(fields, fmt.Sprintf("guides=%d", len(spacers)))
+	fields = append(fields, spacers...)
+	keys := make([]string, 0, len(labeled))
+	for k := range labeled {
+		keys = append(keys, k)
+	}
+	// Sorted for determinism regardless of map iteration order.
+	sort.Strings(keys)
+	for _, k := range keys {
+		if strings.ContainsAny(k, "=\n") {
+			// Labels are compile-time constants in this repo; reject
+			// anything that would make the serialization ambiguous.
+			panic("checkpoint: invalid fingerprint label " + k)
+		}
+		fields = append(fields, k+"="+labeled[k])
+	}
+	return fields
+}

@@ -1,0 +1,155 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestOpenMissingFileIsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	j, err := Open(path, Fingerprint("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Chroms() != 0 || j.Sites() != 0 || j.Done("chr1") {
+		t.Fatalf("fresh journal not empty: %d chroms, %d sites", j.Chroms(), j.Sites())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("Open must not create the journal file before the first Commit")
+	}
+}
+
+func TestCommitRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	fp := Fingerprint(CanonicalFields([]string{"ACGT"}, map[string]string{"k": "3"})...)
+	j, err := Open(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Commit(Entry{Chrom: "chr1", Sites: 7, ScannedBases: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Commit(Entry{Chrom: "chr2", Sites: 3, ScannedBases: 2500}); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Chroms() != 2 || j2.Sites() != 10 {
+		t.Fatalf("reloaded journal has %d chroms / %d sites, want 2 / 10", j2.Chroms(), j2.Sites())
+	}
+	if !j2.Done("chr1") || !j2.Done("chr2") || j2.Done("chr3") {
+		t.Fatal("Done map does not match committed entries")
+	}
+
+	chroms, sites, err := Probe(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chroms != 2 || sites != 10 {
+		t.Fatalf("Probe = %d chroms / %d sites, want 2 / 10", chroms, sites)
+	}
+}
+
+func TestDoubleCommitRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	j, err := Open(path, Fingerprint("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Commit(Entry{Chrom: "chr1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Commit(Entry{Chrom: "chr1"}); err == nil {
+		t.Fatal("second Commit of the same chromosome must error")
+	}
+}
+
+func TestFingerprintMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	j, err := Open(path, Fingerprint("k=3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Commit(Entry{Chrom: "chr1"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(path, Fingerprint("k=4"))
+	if err == nil {
+		t.Fatal("fingerprint mismatch must be rejected")
+	}
+	if !strings.Contains(err.Error(), "different parameters") {
+		t.Fatalf("mismatch error not actionable: %v", err)
+	}
+}
+
+func TestCorruptJournalRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Fingerprint("a")); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt journal must be rejected, got %v", err)
+	}
+	if _, _, err := Probe(path); err == nil {
+		t.Fatal("Probe must reject a corrupt journal")
+	}
+}
+
+func TestProbeMissingFile(t *testing.T) {
+	chroms, sites, err := Probe(filepath.Join(t.TempDir(), "absent.ckpt"))
+	if err != nil || chroms != 0 || sites != 0 {
+		t.Fatalf("Probe on missing file = %d/%d/%v, want 0/0/nil", chroms, sites, err)
+	}
+}
+
+func TestCommitLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(filepath.Join(dir, "scan.ckpt"), Fingerprint("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"chr1", "chr2", "chr3"} {
+		if err := j.Commit(Entry{Chrom: c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "scan.ckpt" {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only scan.ckpt (temp files must be cleaned up)", names)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := CanonicalFields([]string{"ACGT", "TTTT"}, map[string]string{"k": "3", "pam": "NGG"})
+	same := CanonicalFields([]string{"ACGT", "TTTT"}, map[string]string{"pam": "NGG", "k": "3"})
+	if Fingerprint(base...) != Fingerprint(same...) {
+		t.Fatal("label order must not change the fingerprint")
+	}
+	diffs := [][]string{
+		CanonicalFields([]string{"ACGT"}, map[string]string{"k": "3", "pam": "NGG"}),
+		CanonicalFields([]string{"TTTT", "ACGT"}, map[string]string{"k": "3", "pam": "NGG"}),
+		CanonicalFields([]string{"ACGT", "TTTT"}, map[string]string{"k": "4", "pam": "NGG"}),
+		CanonicalFields([]string{"ACGT", "TTTT"}, map[string]string{"k": "3", "pam": "NAG"}),
+	}
+	for i, d := range diffs {
+		if Fingerprint(d...) == Fingerprint(base...) {
+			t.Errorf("variant %d collides with the base fingerprint", i)
+		}
+	}
+	// Length-prefixing means field boundaries cannot be confused.
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Fatal("field boundaries must be unambiguous")
+	}
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -203,6 +204,11 @@ func NewEngine(kind EngineKind, specs []arch.PatternSpec, p Params) (arch.Engine
 	return nil, fmt.Errorf("core: unknown engine %q", kind)
 }
 
+// engineHook, when non-nil, wraps the freshly built engine before any
+// scanning begins. Tests use it to splice fault-injecting engines into
+// the orchestrator; production code must leave it nil.
+var engineHook func(arch.Engine) arch.Engine
+
 // prepare validates params and builds the engine and resolver shared by
 // Search and SearchStream.
 func prepare(guides []dna.Pattern, p *Params) (arch.Engine, *report.Resolver, error) {
@@ -236,6 +242,9 @@ func prepare(guides []dna.Pattern, p *Params) (arch.Engine, *report.Resolver, er
 	if err != nil {
 		return nil, nil, err
 	}
+	if engineHook != nil {
+		engine = engineHook(engine)
+	}
 	resolver, err := report.NewResolverOriented(guides, p.PAM5, pams...)
 	if err != nil {
 		return nil, nil, err
@@ -244,8 +253,20 @@ func prepare(guides []dna.Pattern, p *Params) (arch.Engine, *report.Resolver, er
 }
 
 // Search runs the full pipeline and returns verified, deduplicated,
-// sorted sites.
+// sorted sites. It is the ctx-less compatibility wrapper around
+// SearchContext — the one place a background context enters the
+// pipeline (see the ctxflow analyzer).
 func Search(g *genome.Genome, guides []dna.Pattern, p Params) (*Result, error) {
+	return SearchContext(context.Background(), g, guides, p)
+}
+
+// SearchContext is Search bounded by ctx. Cancellation and deadlines
+// are honored between chromosomes here, and at chunk granularity inside
+// the data-parallel CPU engines (which implement arch.ContextEngine).
+// On cancellation the returned Result is non-nil and carries the sites
+// and stats of the chromosomes completed before the abort, alongside an
+// error wrapping context.Canceled / context.DeadlineExceeded.
+func SearchContext(ctx context.Context, g *genome.Genome, guides []dna.Pattern, p Params) (*Result, error) {
 	engine, resolver, err := prepare(guides, &p)
 	if err != nil {
 		return nil, err
@@ -264,34 +285,40 @@ func Search(g *genome.Genome, guides []dna.Pattern, p Params) (*Result, error) {
 	col := report.NewCollector(resolver)
 	events, bytesScanned := 0, 0
 	start := time.Now()
+	partial := func(scanErr error) (*Result, error) {
+		sites := col.Sites()
+		if offset != 0 {
+			for i := range sites {
+				sites[i].Pos += offset
+			}
+		}
+		res := &Result{
+			Sites: sites,
+			Stats: Stats{Engine: engine.Name(), ElapsedSec: time.Since(start).Seconds(), Events: events, BytesScanned: bytesScanned},
+		}
+		return res, scanErr
+	}
 	for ci := range g.Chroms {
 		c := &g.Chroms[ci]
-		bytesScanned += len(c.Seq)
-		var scanErr error
-		err := engine.ScanChrom(c, func(r automata.Report) {
+		if err := ctx.Err(); err != nil {
+			return partial(fmt.Errorf("core: search canceled after %d/%d chromosomes: %w", ci, len(g.Chroms), err))
+		}
+		var addErr error
+		err := scanChromSafe(ctx, engine, c, func(r automata.Report) {
 			events++
-			if e := col.Add(c, r); e != nil && scanErr == nil {
-				scanErr = e
+			if e := col.Add(c, r); e != nil && addErr == nil {
+				addErr = e
 			}
 		})
+		if err == nil {
+			err = addErr
+		}
 		if err != nil {
-			return nil, err
+			return partial(fmt.Errorf("core: chromosome %s: %w", c.Name, err))
 		}
-		if scanErr != nil {
-			return nil, scanErr
-		}
+		bytesScanned += len(c.Seq)
 	}
-	elapsed := time.Since(start).Seconds()
-	sites := col.Sites()
-	if offset != 0 {
-		for i := range sites {
-			sites[i].Pos += offset
-		}
-	}
-	res := &Result{
-		Sites: sites,
-		Stats: Stats{Engine: engine.Name(), ElapsedSec: elapsed, Events: events, BytesScanned: bytesScanned},
-	}
+	res, _ := partial(nil)
 	if m, ok := engine.(arch.Modeled); ok {
 		b := m.EstimateBreakdown(g.TotalLen(), events)
 		r := m.Resources()
@@ -299,6 +326,21 @@ func Search(g *genome.Genome, guides []dna.Pattern, p Params) (*Result, error) {
 		res.Stats.Resources = &r
 	}
 	return res, nil
+}
+
+// scanChromSafe dispatches one chromosome scan through the ctx-aware
+// engine interface when available and converts any engine panic that
+// escapes to the orchestrator goroutine into an error, so a buggy or
+// fault-injected engine degrades to a failed search rather than a
+// process crash. (Panics inside engine worker goroutines are already
+// recovered by arch.ChunkScan.)
+func scanChromSafe(ctx context.Context, engine arch.Engine, c *genome.Chromosome, emit func(automata.Report)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: engine %s panicked scanning %s: %v", engine.Name(), c.Name, r)
+		}
+	}()
+	return arch.ScanChrom(ctx, engine, c, emit)
 }
 
 func min(a, b int) int {

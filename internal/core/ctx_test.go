@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/arch"
+	"github.com/cap-repro/crisprscan/internal/automata"
+	"github.com/cap-repro/crisprscan/internal/faultinject"
+	"github.com/cap-repro/crisprscan/internal/genome"
+)
+
+// setEngineHook installs a test-only engine wrapper and restores the
+// previous one on cleanup. Tests using it must not run in parallel.
+func setEngineHook(t *testing.T, hook func(arch.Engine) arch.Engine) {
+	t.Helper()
+	prev := engineHook
+	engineHook = hook
+	t.Cleanup(func() { engineHook = prev })
+}
+
+// cancelingEngine cancels the search context once its first chromosome
+// scan completes, so the orchestrator's between-chromosome ctx check is
+// what aborts the run.
+type cancelingEngine struct {
+	arch.Engine
+	cancel context.CancelFunc
+}
+
+func (e *cancelingEngine) ScanChrom(c *genome.Chromosome, emit func(automata.Report)) error {
+	err := e.Engine.ScanChrom(c, emit)
+	e.cancel()
+	return err
+}
+
+func TestSearchContextCancelBetweenChromosomes(t *testing.T) {
+	g, guides, _ := plantedFixture(t, 301, 3, 40000, genome.PlantPlan{1: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	setEngineHook(t, func(e arch.Engine) arch.Engine {
+		return &cancelingEngine{Engine: e, cancel: cancel}
+	})
+
+	res, err := SearchContext(ctx, g, guides, Params{MaxMismatches: 1})
+	if err == nil {
+		t.Fatal("want cancellation error, got nil")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	if !strings.Contains(err.Error(), "core: search canceled after 1/2 chromosomes") {
+		t.Fatalf("error does not report partial progress: %v", err)
+	}
+	if res == nil {
+		t.Fatal("partial Result must be non-nil on cancellation")
+	}
+	first := g.Chroms[0].Name
+	for _, s := range res.Sites {
+		if s.Chrom != first {
+			t.Fatalf("partial result contains site on unscanned chromosome %s", s.Chrom)
+		}
+	}
+	if res.Stats.Engine == "" || res.Stats.BytesScanned != len(g.Chroms[0].Seq) {
+		t.Fatalf("partial Stats not populated for the completed chromosome: %+v", res.Stats)
+	}
+}
+
+func TestSearchContextDeadlineBeforeStart(t *testing.T) {
+	g, guides, _ := plantedFixture(t, 302, 2, 20000, genome.PlantPlan{})
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	res, err := SearchContext(ctx, g, guides, Params{MaxMismatches: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want wrapped context.DeadlineExceeded, got %v", err)
+	}
+	if res == nil || len(res.Sites) != 0 || res.Stats.BytesScanned != 0 {
+		t.Fatalf("want empty partial result, got %+v", res)
+	}
+}
+
+func TestSearchContextEngineErrorPartialResult(t *testing.T) {
+	g, guides, _ := plantedFixture(t, 303, 3, 40000, genome.PlantPlan{1: 2})
+	var fe *faultinject.Engine
+	setEngineHook(t, func(e arch.Engine) arch.Engine {
+		fe = &faultinject.Engine{Inner: e, FailOn: 2}
+		return fe
+	})
+
+	res, err := SearchContext(context.Background(), g, guides, Params{MaxMismatches: 1})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("error does not wrap the injected fault: %v", err)
+	}
+	if want := "core: chromosome " + g.Chroms[1].Name; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the failing chromosome (%s)", err, want)
+	}
+	if res == nil {
+		t.Fatal("partial Result must be non-nil on engine error")
+	}
+	if res.Stats.BytesScanned != len(g.Chroms[0].Seq) {
+		t.Fatalf("partial Stats.BytesScanned = %d, want %d (first chromosome only)",
+			res.Stats.BytesScanned, len(g.Chroms[0].Seq))
+	}
+	if fe.Calls() != 2 {
+		t.Fatalf("engine scanned %d chromosomes, want abort on the 2nd", fe.Calls())
+	}
+}
+
+func TestSearchContextEnginePanicRecovered(t *testing.T) {
+	g, guides, _ := plantedFixture(t, 304, 3, 40000, genome.PlantPlan{1: 2})
+	setEngineHook(t, func(e arch.Engine) arch.Engine {
+		return &faultinject.Engine{Inner: e, FailOn: 2, Panic: true}
+	})
+
+	res, err := SearchContext(context.Background(), g, guides, Params{MaxMismatches: 1})
+	if err == nil {
+		t.Fatal("want panic-derived error, got nil")
+	}
+	if !strings.Contains(err.Error(), "panicked scanning "+g.Chroms[1].Name) {
+		t.Fatalf("error does not report the recovered panic: %v", err)
+	}
+	if res == nil {
+		t.Fatal("partial Result must be non-nil after a recovered panic")
+	}
+	first := g.Chroms[0].Name
+	for _, s := range res.Sites {
+		if s.Chrom != first {
+			t.Fatalf("partial result contains site on failed chromosome %s", s.Chrom)
+		}
+	}
+}
+
+// TestSearchContextCleanRunMatchesSearch pins that the ctx plumbing is
+// behavior-preserving when the context never fires.
+func TestSearchContextCleanRunMatchesSearch(t *testing.T) {
+	g, guides, _ := plantedFixture(t, 305, 3, 40000, genome.PlantPlan{1: 2, 2: 1})
+	want, err := Search(g, guides, Params{MaxMismatches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SearchContext(context.Background(), g, guides, Params{MaxMismatches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sites) != len(want.Sites) {
+		t.Fatalf("ctx run found %d sites, plain run %d", len(got.Sites), len(want.Sites))
+	}
+	for i := range got.Sites {
+		if got.Sites[i] != want.Sites[i] {
+			t.Fatalf("site %d differs: %+v vs %+v", i, got.Sites[i], want.Sites[i])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -12,14 +13,45 @@ import (
 	"github.com/cap-repro/crisprscan/internal/report"
 )
 
+// StreamControl customizes SearchStreamContext for checkpoint/resume.
+// The zero value (or a nil pointer) streams every chromosome with no
+// completion hook.
+type StreamControl struct {
+	// SkipChrom, when non-nil, is consulted per chromosome: returning
+	// true means the chromosome is already complete (a resumed run) —
+	// it is parsed and duplicate-checked but neither scanned, counted in
+	// stats, nor yielded.
+	SkipChrom func(name string) bool
+	// ChromDone, when non-nil, runs after every non-skipped chromosome's
+	// sites have all been yielded: name, the number of sites the
+	// chromosome produced, and the cumulative reference bases scanned so
+	// far (Stats.BytesScanned at that point). Returning an error aborts
+	// the stream. Checkpoint journaling hangs off this hook.
+	ChromDone func(name string, sites int, scannedBases int64) error
+}
+
 // SearchStream runs the search over a FASTA stream one chromosome at a
 // time, so memory stays proportional to the largest chromosome rather
 // than the whole genome — the mode a 3.1 Gbp reference requires. Sites
 // are emitted to the callback per chromosome (verified and
 // deduplicated within the chromosome); stats are returned at the end.
+// It is the ctx-less compatibility wrapper around SearchStreamContext.
 func SearchStream(r io.Reader, guides []dna.Pattern, p Params, yield func(report.Site) error) (*Stats, error) {
+	return SearchStreamContext(context.Background(), r, guides, p, nil, yield)
+}
+
+// SearchStreamContext is SearchStream bounded by ctx and tunable with
+// ctrl. Cancellation is honored between chromosomes here and at chunk
+// granularity inside the data-parallel engines; an aborted
+// chromosome yields no sites, so every site delivered to yield belongs
+// to a fully completed chromosome. On any error the returned Stats is
+// non-nil and describes the work completed before the failure.
+func SearchStreamContext(ctx context.Context, r io.Reader, guides []dna.Pattern, p Params, ctrl *StreamControl, yield func(report.Site) error) (*Stats, error) {
 	if yield == nil {
 		return nil, fmt.Errorf("core: nil yield callback")
+	}
+	if ctrl == nil {
+		ctrl = &StreamControl{}
 	}
 	engine, resolver, err := prepare(guides, &p)
 	if err != nil {
@@ -29,42 +61,57 @@ func SearchStream(r io.Reader, guides []dna.Pattern, p Params, yield func(report
 	fr := fasta.NewReader(r)
 	stats := &Stats{Engine: engine.Name()}
 	start := time.Now()
+	finish := func(streamErr error) (*Stats, error) {
+		stats.ElapsedSec = time.Since(start).Seconds()
+		return stats, streamErr
+	}
 	seen := make(map[string]bool)
 	for {
+		if err := ctx.Err(); err != nil {
+			return finish(fmt.Errorf("core: stream search canceled after %d chromosomes: %w", len(seen), err))
+		}
 		rec, err := fr.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, err
+			return finish(fmt.Errorf("core: reading genome stream: %w", err))
 		}
 		if seen[rec.ID] {
-			return nil, fmt.Errorf("core: duplicate chromosome %q in stream", rec.ID)
+			return finish(fmt.Errorf("core: duplicate chromosome %q in stream", rec.ID))
 		}
 		seen[rec.ID] = true
+		if ctrl.SkipChrom != nil && ctrl.SkipChrom(rec.ID) {
+			continue
+		}
 		seq, _ := dna.ParseSeq(string(rec.Seq))
-		stats.BytesScanned += len(seq)
 		chrom := genome.Chromosome{Name: rec.ID, Seq: seq, Packed: dna.Pack(seq)}
 		col := report.NewCollector(resolver)
-		var scanErr error
-		err = engine.ScanChrom(&chrom, func(ev automata.Report) {
+		var addErr error
+		err = scanChromSafe(ctx, engine, &chrom, func(ev automata.Report) {
 			stats.Events++
-			if e := col.Add(&chrom, ev); e != nil && scanErr == nil {
-				scanErr = e
+			if e := col.Add(&chrom, ev); e != nil && addErr == nil {
+				addErr = e
 			}
 		})
+		if err == nil {
+			err = addErr
+		}
 		if err != nil {
-			return nil, err
+			return finish(fmt.Errorf("core: chromosome %s: %w", rec.ID, err))
 		}
-		if scanErr != nil {
-			return nil, scanErr
-		}
-		for _, site := range col.Sites() {
+		stats.BytesScanned += len(seq)
+		sites := col.Sites()
+		for _, site := range sites {
 			if err := yield(site); err != nil {
-				return nil, err
+				return finish(fmt.Errorf("core: yield on %s: %w", rec.ID, err))
+			}
+		}
+		if ctrl.ChromDone != nil {
+			if err := ctrl.ChromDone(rec.ID, len(sites), int64(stats.BytesScanned)); err != nil {
+				return finish(fmt.Errorf("core: completing %s: %w", rec.ID, err))
 			}
 		}
 	}
-	stats.ElapsedSec = time.Since(start).Seconds()
-	return stats, nil
+	return finish(nil)
 }

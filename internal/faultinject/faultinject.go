@@ -1,0 +1,155 @@
+// Package faultinject supplies deterministic failure machinery for the
+// robustness tests: a seedable io.Reader that delivers short reads,
+// transient stalls, and a mid-stream error at an exact byte offset; and
+// an arch.Engine wrapper that errors or panics on a chosen chromosome.
+// Both are pure test doubles — nothing in the production pipeline
+// imports them — but they live outside _test files so every package's
+// tests (core, the CLI, the public API) can share one implementation.
+//
+// Determinism matters here: a fault that moves between runs turns a
+// red test into a flake. Every behavior is driven by the configured
+// seed and counters, never by wall-clock or scheduler timing.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+
+	"github.com/cap-repro/crisprscan/internal/arch"
+	"github.com/cap-repro/crisprscan/internal/automata"
+	"github.com/cap-repro/crisprscan/internal/genome"
+)
+
+// ErrInjected is the default error the Reader and Engine deliver.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ReaderConfig configures a faulty Reader. The zero value injects
+// nothing (the Reader degenerates to a pass-through).
+type ReaderConfig struct {
+	// Seed drives the short-read length sequence.
+	Seed int64
+	// MaxRead, when > 0, caps each Read at a random length in
+	// [1, MaxRead] — the short, ragged reads a slow pipe or network
+	// filesystem produces.
+	MaxRead int
+	// StallEvery, when > 0, makes every Nth Read return (0, nil) — a
+	// transient stall. Well-behaved callers (bufio included) retry.
+	StallEvery int
+	// FailAfter, when > 0, injects Err once that many bytes have been
+	// delivered (the reader truncates the preceding Read so the failure
+	// lands at the exact offset); subsequent Reads keep failing. Zero
+	// means never.
+	FailAfter int64
+	// Err is the injected error (default ErrInjected).
+	Err error
+}
+
+// Reader wraps an io.Reader with deterministic fault injection.
+type Reader struct {
+	src       io.Reader
+	cfg       ReaderConfig
+	rng       *rand.Rand
+	delivered int64
+	reads     int
+}
+
+// NewReader wraps src with the configured faults; the zero config is a
+// pass-through.
+func NewReader(src io.Reader, cfg ReaderConfig) *Reader {
+	if cfg.Err == nil {
+		cfg.Err = ErrInjected
+	}
+	return &Reader{src: src, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Read implements io.Reader with the configured faults.
+func (r *Reader) Read(p []byte) (int, error) {
+	r.reads++
+	if r.cfg.FailAfter > 0 && r.delivered >= r.cfg.FailAfter {
+		return 0, r.cfg.Err
+	}
+	if r.cfg.StallEvery > 0 && r.reads%r.cfg.StallEvery == 0 {
+		return 0, nil
+	}
+	if r.cfg.MaxRead > 0 && len(p) > r.cfg.MaxRead {
+		p = p[:1+r.rng.Intn(r.cfg.MaxRead)]
+	}
+	if r.cfg.FailAfter > 0 && int64(len(p)) > r.cfg.FailAfter-r.delivered {
+		p = p[:r.cfg.FailAfter-r.delivered]
+	}
+	n, err := r.src.Read(p)
+	r.delivered += int64(n)
+	return n, err
+}
+
+// Delivered returns the bytes passed through so far.
+func (r *Reader) Delivered() int64 { return r.delivered }
+
+// Engine wraps an arch.Engine and sabotages the Nth chromosome scan:
+// either by returning an error or, when Panic is set, by panicking in
+// the caller's goroutine — exactly the failure the orchestrator's
+// recover path must absorb. Scans before and after the Nth pass
+// through untouched, so tests can assert partial progress.
+type Engine struct {
+	Inner arch.Engine
+	// FailOn is the 1-based ScanChrom invocation to sabotage
+	// (0 = never).
+	FailOn int
+	// Panic selects panic(Err) over returning Err.
+	Panic bool
+	// Err is the injected failure (default ErrInjected).
+	Err error
+
+	mu    sync.Mutex
+	calls int
+}
+
+// Name implements arch.Engine.
+func (e *Engine) Name() string { return e.Inner.Name() }
+
+// Calls returns how many chromosome scans have been attempted.
+func (e *Engine) Calls() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.calls
+}
+
+// ScanChrom implements arch.Engine.
+func (e *Engine) ScanChrom(c *genome.Chromosome, emit func(automata.Report)) error {
+	if err := e.arm(); err != nil {
+		return err
+	}
+	return e.Inner.ScanChrom(c, emit)
+}
+
+// ScanChromContext implements arch.ContextEngine, forwarding ctx to the
+// wrapped engine when it is ctx-aware.
+func (e *Engine) ScanChromContext(ctx context.Context, c *genome.Chromosome, emit func(automata.Report)) error {
+	if err := e.arm(); err != nil {
+		return err
+	}
+	return arch.ScanChrom(ctx, e.Inner, c, emit)
+}
+
+// arm advances the call counter and triggers the configured fault when
+// the Nth scan arrives.
+func (e *Engine) arm() error {
+	e.mu.Lock()
+	e.calls++
+	fire := e.FailOn > 0 && e.calls == e.FailOn
+	e.mu.Unlock()
+	if !fire {
+		return nil
+	}
+	err := e.Err
+	if err == nil {
+		err = ErrInjected
+	}
+	if e.Panic {
+		panic(err)
+	}
+	return err
+}

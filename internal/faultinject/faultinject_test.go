@@ -1,0 +1,108 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestReaderZeroConfigPassesThrough(t *testing.T) {
+	src := bytes.Repeat([]byte("ACGT"), 1000)
+	r := NewReader(bytes.NewReader(src), ReaderConfig{})
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("zero-config reader altered the stream")
+	}
+	if r.Delivered() != int64(len(src)) {
+		t.Fatalf("Delivered = %d, want %d", r.Delivered(), len(src))
+	}
+}
+
+func TestReaderFailsAtExactOffset(t *testing.T) {
+	src := bytes.Repeat([]byte("x"), 10000)
+	const failAt = 4097
+	r := NewReader(bytes.NewReader(src), ReaderConfig{FailAfter: failAt, MaxRead: 100, Seed: 3})
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if len(got) != failAt {
+		t.Fatalf("delivered %d bytes before failing, want exactly %d", len(got), failAt)
+	}
+	// The fault is sticky: later reads keep failing.
+	if _, err := r.Read(make([]byte, 8)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fault not sticky: %v", err)
+	}
+}
+
+func TestReaderCustomError(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	r := NewReader(bytes.NewReader([]byte("abcdef")), ReaderConfig{FailAfter: 3, Err: sentinel})
+	_, err := io.ReadAll(r)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want custom error, got %v", err)
+	}
+}
+
+func TestReaderShortReadsAreDeterministic(t *testing.T) {
+	src := bytes.Repeat([]byte("ACGT"), 512)
+	lengths := func(seed int64) []int {
+		r := NewReader(bytes.NewReader(src), ReaderConfig{Seed: seed, MaxRead: 17})
+		var out []int
+		buf := make([]byte, 64)
+		for {
+			n, err := r.Read(buf)
+			if n > 0 {
+				out = append(out, n)
+				if n > 17 {
+					t.Fatalf("read of %d bytes exceeds MaxRead", n)
+				}
+			}
+			if err == io.EOF {
+				return out
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a, b := lengths(42), lengths(42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d reads", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("read %d: %d vs %d bytes — not deterministic", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReaderStalls(t *testing.T) {
+	src := bytes.Repeat([]byte("z"), 256)
+	r := NewReader(bytes.NewReader(src), ReaderConfig{StallEvery: 3})
+	stalls, total := 0, 0
+	buf := make([]byte, 50)
+	for {
+		n, err := r.Read(buf)
+		total += n
+		if n == 0 && err == nil {
+			stalls++
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stalls == 0 {
+		t.Fatal("no (0, nil) stalls injected")
+	}
+	if total != len(src) {
+		t.Fatalf("delivered %d bytes, want %d (stalls must not drop data)", total, len(src))
+	}
+}

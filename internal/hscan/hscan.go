@@ -10,9 +10,9 @@
 package hscan
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"github.com/cap-repro/crisprscan/internal/arch"
 	"github.com/cap-repro/crisprscan/internal/automata"
@@ -103,6 +103,11 @@ type Engine struct {
 	// Packed bitap state (two patterns per word), built when ModeBitap
 	// patterns share geometry.
 	packed []packedPair
+
+	// chunkHook, when set, runs at the start of every pool chunk with
+	// the chunk's [lo, hi) bounds. Tests use it to inject panics and to
+	// trigger cancellation mid-scan; it is nil in production.
+	chunkHook func(lo, hi int)
 }
 
 // New compiles the pattern set for the given mode.
@@ -215,56 +220,65 @@ func (e *Engine) MaxSiteLen() int {
 	return max
 }
 
-// ScanChrom implements arch.Engine.
+// ScanChrom implements arch.Engine. It is the ctx-less compatibility
+// bridge; cancellation-aware callers use ScanChromContext.
 func (e *Engine) ScanChrom(c *genome.Chromosome, emit func(automata.Report)) error {
+	return e.ScanChromContext(context.Background(), c, emit)
+}
+
+// ScanChromContext implements arch.ContextEngine: the scan honors ctx
+// at chunk granularity (arch.DefaultChunk positions) on every execution
+// path except the lazy DFA, whose shared mutable state cache forces a
+// serial whole-chromosome pass (ctx is still checked before it starts).
+func (e *Engine) ScanChromContext(ctx context.Context, c *genome.Chromosome, emit func(automata.Report)) error {
 	if e.mode == ModePrefilter {
-		return e.scanChromPrefilter(c, emit)
+		return e.scanChromPrefilter(ctx, c, emit)
 	}
 	// The lazy DFA shares one mutable state cache, so it always scans
 	// serially.
-	if e.Parallelism <= 1 || e.mode == ModeLazyDFA {
+	if e.mode == ModeLazyDFA {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("hscan: scan of %s canceled: %w", c.Name, err)
+		}
 		return e.scanRange(c.Seq, 0, emit)
 	}
-	return e.scanParallel(c.Seq, emit)
+	return e.scanParallel(ctx, c.Name, c.Seq, emit)
 }
 
-// scanChromPrefilter runs the prefilter path, chunking candidate
-// positions across workers when Parallelism > 1.
-func (e *Engine) scanChromPrefilter(c *genome.Chromosome, emit func(automata.Report)) error {
+// workers caps the configured parallelism at the machine width.
+func (e *Engine) workers() int {
+	w := e.Parallelism
+	if w > runtime.NumCPU() {
+		w = runtime.NumCPU()
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// scanChromPrefilter runs the prefilter path, draining candidate
+// anchor positions through the arch.ChunkScan pool (which supplies the
+// cancellation checks and worker panic isolation).
+func (e *Engine) scanChromPrefilter(ctx context.Context, c *genome.Chromosome, emit func(automata.Report)) error {
 	total := len(c.Seq) - e.preSite + 1
 	if total <= 0 {
 		return nil
 	}
-	workers := e.Parallelism
-	if workers > runtime.NumCPU() {
-		workers = runtime.NumCPU()
-	}
-	if workers <= 1 {
-		e.scanPrefilter(c, 0, total, emit)
-		return nil
-	}
-	chunk := (total + workers - 1) / workers
-	results := make([][]automata.Report, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= total {
-			break
-		}
-		hi := lo + chunk
-		if hi > total {
-			hi = total
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
+	chunks, err := arch.ChunkScan(ctx, e.Name()+" "+c.Name, e.workers(), total, arch.DefaultChunk,
+		func(lo, hi int, out *[]automata.Report) error {
+			if h := e.chunkHook; h != nil {
+				h(lo, hi)
+			}
 			e.scanPrefilter(c, lo, hi, func(r automata.Report) {
-				results[w] = append(results[w], r)
+				*out = append(*out, r)
 			})
-		}(w, lo, hi)
+			return nil
+		})
+	if err != nil {
+		return err
 	}
-	wg.Wait()
-	for _, rs := range results {
+	for _, rs := range chunks {
 		for _, r := range rs {
 			emit(r)
 		}
@@ -347,61 +361,37 @@ func (e *Engine) scanBitap(seq dna.Seq, base int, emit func(automata.Report)) {
 	}
 }
 
-// scanParallel splits the sequence into chunks with site-length overlap
-// and dedups the overlap region by ownership: a chunk only reports
-// matches whose End falls inside its own span.
-func (e *Engine) scanParallel(seq dna.Seq, emit func(automata.Report)) error {
-	workers := e.Parallelism
-	if workers > runtime.NumCPU() {
-		workers = runtime.NumCPU()
-	}
-	if workers < 1 {
-		workers = 1
-	}
+// scanParallel drains the sequence through the arch.ChunkScan pool in
+// fixed-size chunks extended left by site-length overlap, deduping the
+// overlap region by ownership: a chunk only reports matches whose End
+// falls inside its own span. The pool supplies cancellation checks
+// between chunks and converts worker panics into errors naming the
+// chunk.
+func (e *Engine) scanParallel(ctx context.Context, chrom string, seq dna.Seq, emit func(automata.Report)) error {
 	overlap := e.MaxSiteLen() - 1
-	chunk := (len(seq) + workers - 1) / workers
+	chunk := arch.DefaultChunk
 	if chunk <= overlap {
-		return e.scanRange(seq, 0, emit)
+		chunk = overlap + 1
 	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errs []error
-	)
-	out := make([][]automata.Report, workers)
-	for w := 0; w < workers; w++ {
-		start := w * chunk
-		if start >= len(seq) {
-			break
-		}
-		end := start + chunk
-		if end > len(seq) {
-			end = len(seq)
-		}
-		lo := start - overlap
-		if lo < 0 {
-			lo = 0
-		}
-		wg.Add(1)
-		go func(w, lo, start, end int) {
-			defer wg.Done()
-			err := e.scanRange(seq[lo:end], lo, func(r automata.Report) {
-				if r.End >= start && r.End < end {
-					out[w] = append(out[w], r)
+	chunks, err := arch.ChunkScan(ctx, e.Name()+" "+chrom, e.workers(), len(seq), chunk,
+		func(lo, hi int, out *[]automata.Report) error {
+			if h := e.chunkHook; h != nil {
+				h(lo, hi)
+			}
+			elo := lo - overlap
+			if elo < 0 {
+				elo = 0
+			}
+			return e.scanRange(seq[elo:hi], elo, func(r automata.Report) {
+				if r.End >= lo && r.End < hi {
+					*out = append(*out, r)
 				}
 			})
-			if err != nil {
-				mu.Lock()
-				errs = append(errs, err)
-				mu.Unlock()
-			}
-		}(w, lo, start, end)
+		})
+	if err != nil {
+		return err
 	}
-	wg.Wait()
-	if len(errs) > 0 {
-		return errs[0]
-	}
-	for _, rs := range out {
+	for _, rs := range chunks {
 		for _, r := range rs {
 			emit(r)
 		}

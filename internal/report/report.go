@@ -226,29 +226,50 @@ func Histogram(sites []Site) map[int]int {
 // 0-1000 scale decreasing with mismatches.
 func WriteBED(w io.Writer, sites []Site) error {
 	for _, s := range sites {
-		score := 1000 - 150*s.Mismatches
-		if score < 0 {
-			score = 0
-		}
-		end := s.Pos + len(s.SiteSeq)
-		if _, err := fmt.Fprintf(w, "%s\t%d\t%d\tguide%d\t%d\t%c\n",
-			s.Chrom, s.Pos, end, s.Guide, score, s.Strand); err != nil {
+		if err := WriteBEDRow(w, s); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// WriteBEDRow emits one site as a BED6 row — the incremental unit the
+// streaming CLI writes from its yield callback, so batch and streamed
+// output are byte-identical by construction.
+func WriteBEDRow(w io.Writer, s Site) error {
+	score := 1000 - 150*s.Mismatches
+	if score < 0 {
+		score = 0
+	}
+	end := s.Pos + len(s.SiteSeq)
+	_, err := fmt.Fprintf(w, "%s\t%d\t%d\tguide%d\t%d\t%c\n",
+		s.Chrom, s.Pos, end, s.Guide, score, s.Strand)
+	return err
+}
+
 // WriteTSV emits sites in a Cas-OFFinder-like tab-separated layout.
 func WriteTSV(w io.Writer, sites []Site) error {
-	if _, err := fmt.Fprintln(w, "guide\tchrom\tpos\tstrand\tmismatches\tsite\talignment"); err != nil {
+	if err := WriteTSVHeader(w); err != nil {
 		return err
 	}
 	for _, s := range sites {
-		if _, err := fmt.Fprintf(w, "%d\t%s\t%d\t%c\t%d\t%s\t%s\n",
-			s.Guide, s.Chrom, s.Pos, s.Strand, s.Mismatches, s.SiteSeq, s.Alignment); err != nil {
+		if err := WriteTSVRow(w, s); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// WriteTSVHeader emits the TSV column header line.
+func WriteTSVHeader(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "guide\tchrom\tpos\tstrand\tmismatches\tsite\talignment")
+	return err
+}
+
+// WriteTSVRow emits one site as a TSV row (see WriteBEDRow on why rows
+// are exposed individually).
+func WriteTSVRow(w io.Writer, s Site) error {
+	_, err := fmt.Fprintf(w, "%d\t%s\t%d\t%c\t%d\t%s\t%s\n",
+		s.Guide, s.Chrom, s.Pos, s.Strand, s.Mismatches, s.SiteSeq, s.Alignment)
+	return err
 }
