@@ -10,6 +10,7 @@
 //	offtarget -genome genome.fa -guides guides.txt -k 2 -bulge 1
 //	offtarget -genome genome.fa -guides guides.txt -engine ap -stats
 //	offtarget -genome hg.fa -guides g.txt -stream -checkpoint scan.ckpt -o sites.tsv
+//	offtarget -genome genome.fa -guides guides.txt -trace scan.json -pprof localhost:6060
 //
 // The guides file holds one spacer per line, optionally preceded by a
 // name and whitespace; '#' starts a comment.
@@ -29,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves the standard profiling endpoints
 	"os"
 	"os/signal"
 	"strings"
@@ -60,6 +63,8 @@ type config struct {
 	outPath    string
 	ckptPath   string
 	timeout    time.Duration
+	tracePath  string
+	pprofAddr  string
 }
 
 func main() {
@@ -82,6 +87,8 @@ func main() {
 	flag.StringVar(&cfg.outPath, "o", "", "output TSV path (default stdout)")
 	flag.StringVar(&cfg.ckptPath, "checkpoint", "", "checkpoint journal path (with -stream: resume by skipping completed chromosomes)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the search after this duration (e.g. 30m; 0 = no limit)")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write a Chrome trace-event timeline of the scan to this file (view in chrome://tracing or Perfetto)")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -156,6 +163,20 @@ func run(ctx context.Context, cfg *config) (err error) {
 		}
 	}()
 
+	if cfg.pprofAddr != "" {
+		// The default mux already carries the /debug/pprof handlers via
+		// the net/http/pprof import; failures are reported, not fatal —
+		// profiling must never take down a search.
+		go func() {
+			if serr := http.ListenAndServe(cfg.pprofAddr, nil); serr != nil {
+				fmt.Fprintf(os.Stderr, "offtarget: pprof server: %v\n", serr)
+			}
+		}()
+		if cfg.stats {
+			fmt.Fprintf(os.Stderr, "offtarget: pprof at http://%s/debug/pprof/\n", cfg.pprofAddr)
+		}
+	}
+
 	var alts []string
 	if cfg.altPAM != "" {
 		alts = strings.Split(cfg.altPAM, ",")
@@ -163,6 +184,25 @@ func run(ctx context.Context, cfg *config) (err error) {
 	params := crisprscan.Params{
 		MaxMismatches: cfg.k, PAM: cfg.pam, AltPAMs: alts, Region: cfg.region, PlusStrandOnly: cfg.plusOnly,
 		Engine: crisprscan.Engine(cfg.engineName), Workers: cfg.workers,
+	}
+
+	if cfg.tracePath != "" {
+		tf, terr := os.Create(cfg.tracePath)
+		if terr != nil {
+			return terr
+		}
+		tracer := crisprscan.NewChromeTracer(tf)
+		rec := crisprscan.NewMetricsRecorder()
+		rec.SetTracer(tracer)
+		params.Metrics = rec
+		defer func() {
+			if cerr := tracer.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("finalizing trace: %w", cerr)
+			}
+			if cerr := tf.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("closing %s: %w", cfg.tracePath, cerr)
+			}
+		}()
 	}
 
 	if cfg.stream {
@@ -207,6 +247,9 @@ func run(ctx context.Context, cfg *config) (err error) {
 	if cfg.stats {
 		fmt.Fprintf(os.Stderr, "offtarget: engine=%s sites=%d events=%d elapsed=%.3fs\n",
 			res.Stats.Engine, len(res.Sites), res.Stats.Events, res.Stats.ElapsedSec)
+		if res.Stats.Metrics != nil {
+			fmt.Fprintf(os.Stderr, "offtarget: metrics: %s\n", res.Stats.Metrics)
+		}
 		if res.Stats.Modeled != nil {
 			fmt.Fprintf(os.Stderr, "offtarget: modeled device time: %s\n", res.Stats.Modeled)
 		}
@@ -259,6 +302,9 @@ func runStream(ctx context.Context, cfg *config, guides []crisprscan.Guide, para
 	if cfg.stats && st != nil {
 		fmt.Fprintf(os.Stderr, "offtarget: engine=%s sites=%d events=%d elapsed=%.3fs (streamed)\n",
 			st.Engine, count, st.Events, st.ElapsedSec)
+		if st.Metrics != nil {
+			fmt.Fprintf(os.Stderr, "offtarget: metrics: %s\n", st.Metrics)
+		}
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

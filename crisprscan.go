@@ -34,6 +34,7 @@ import (
 	"github.com/cap-repro/crisprscan/internal/dna"
 	"github.com/cap-repro/crisprscan/internal/fasta"
 	"github.com/cap-repro/crisprscan/internal/genome"
+	"github.com/cap-repro/crisprscan/internal/metrics"
 	"github.com/cap-repro/crisprscan/internal/report"
 )
 
@@ -47,9 +48,36 @@ type Site = report.Site
 // BulgeSite is one bulge-tolerant site.
 type BulgeSite = core.BulgeSite
 
-// Stats describes a search execution (wall-clock, event counts and, for
-// modeled accelerator platforms, the device-time breakdown).
+// Stats describes a search execution (wall-clock, event counts, the
+// instrumentation snapshot in Stats.Metrics and, for modeled
+// accelerator platforms, the device-time breakdown).
 type Stats = core.Stats
+
+// MetricsRecorder accumulates instrumentation for one or more searches:
+// per-phase timers, event counters, the chunk-latency sketch and
+// optional trace spans. Construct with NewMetricsRecorder, attach via
+// Params.Metrics, and read results from Stats.Metrics (or call Snapshot
+// directly, e.g. mid-scan from another goroutine).
+type MetricsRecorder = metrics.Recorder
+
+// MetricsSnapshot is the immutable instrumentation record carried by
+// Stats.Metrics; all fields serialize to stable JSON.
+type MetricsSnapshot = metrics.Snapshot
+
+// Tracer receives span start/end callbacks from an instrumented search;
+// attach one with MetricsRecorder.SetTracer.
+type Tracer = metrics.Tracer
+
+// ChromeTracer renders spans in the Chrome trace-event JSON format
+// (chrome://tracing, Perfetto, speedscope). See NewChromeTracer.
+type ChromeTracer = metrics.ChromeTracer
+
+// NewMetricsRecorder returns an empty metrics recorder.
+func NewMetricsRecorder() *MetricsRecorder { return metrics.NewRecorder() }
+
+// NewChromeTracer starts a Chrome trace-event stream written to w; call
+// Close after the search to finalize the JSON array.
+func NewChromeTracer(w io.Writer) *ChromeTracer { return metrics.NewChromeTracer(w) }
 
 // Engine selects the execution platform.
 type Engine = core.EngineKind
@@ -122,6 +150,11 @@ type Params struct {
 	// the paper proposes.
 	MergeStates bool
 	Stride2     bool
+	// Metrics, when non-nil, is the recorder this search reports into —
+	// supply one to attach a Tracer or to aggregate several searches.
+	// When nil a private recorder is created; either way the result's
+	// Stats.Metrics carries the final snapshot.
+	Metrics *MetricsRecorder
 }
 
 // Result is a completed search: verified sites plus execution stats.
@@ -203,6 +236,7 @@ func coreParams(p Params) core.Params {
 		MaxSeedMismatches: p.MaxSeedMismatches,
 		MergeStates:       p.MergeStates,
 		Stride2:           p.Stride2,
+		Metrics:           p.Metrics,
 	}
 }
 

@@ -1,0 +1,176 @@
+package crisprscan
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden output fixtures")
+
+// goldenSites produces the deterministic site set the writer fixtures
+// are checked in for. Any change to the output formats — column order,
+// separators, score scale, coordinate convention — shows up as a byte
+// diff against testdata/, which is the point: serialization changes
+// must be deliberate, reviewed, and versioned.
+func goldenSites(t *testing.T) (*Genome, []Guide, []Site) {
+	t.Helper()
+	// Two literal guides with planted occurrences: exact, mismatched and
+	// minus-strand sites at fixed offsets inside a synthesized background
+	// (random 20-mer matches within k=5 are vanishingly unlikely, so the
+	// planted set IS the result set, deterministically).
+	guides := []Guide{
+		{Name: "g0", Spacer: "GACCTTAGCAATGCGTACTG"},
+		{Name: "g1", Spacer: "TTGACGCATCCAGGTTAAGC"},
+	}
+	mutate := func(s string, at ...int) string {
+		b := []byte(s)
+		next := map[byte]byte{'A': 'C', 'C': 'G', 'G': 'T', 'T': 'A'}
+		for _, i := range at {
+			b[i] = next[b[i]]
+		}
+		return string(b)
+	}
+	revcomp := func(s string) string {
+		comp := map[byte]byte{'A': 'T', 'C': 'G', 'G': 'C', 'T': 'A'}
+		b := make([]byte, len(s))
+		for i := 0; i < len(s); i++ {
+			b[len(s)-1-i] = comp[s[i]]
+		}
+		return string(b)
+	}
+	plant := func(background string, at int, site string) string {
+		return background[:at] + site + background[at+len(site):]
+	}
+	bg := SynthesizeGenome(SynthConfig{Seed: 601, ChromLen: 3000, NumChroms: 2})
+	chr1 := bg.Chroms[0].Seq.String()
+	chr1 = plant(chr1, 100, guides[0].Spacer+"AGG")               // exact, +
+	chr1 = plant(chr1, 200, mutate(guides[0].Spacer, 3, 7)+"CGG") // 2 mismatches, +
+	chr1 = plant(chr1, 300, revcomp(guides[0].Spacer+"TGG"))      // exact, -
+	chr2 := bg.Chroms[1].Seq.String()
+	chr2 = plant(chr2, 150, guides[1].Spacer+"GGG")                          // exact, +
+	chr2 = plant(chr2, 400, mutate(guides[1].Spacer, 0, 4, 9, 14, 19)+"AGG") // 5 mismatches, +
+	chr2 = plant(chr2, 600, revcomp(mutate(guides[1].Spacer, 6, 12)+"AGG"))  // 2 mismatches, -
+	g, err := ReadGenome(strings.NewReader(">chr1\n" + chr1 + "\n>chr2\n" + chr2 + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(g, guides, Params{MaxMismatches: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture must exercise the interesting formatting paths: both
+	// strands and nonzero mismatch alignments.
+	var minus, mismatched bool
+	for _, s := range res.Sites {
+		minus = minus || s.Strand == '-'
+		mismatched = mismatched || s.Mismatches > 0
+	}
+	if len(res.Sites) == 0 || !minus || !mismatched {
+		t.Fatalf("degenerate golden fixture: %d sites, minus=%v, mismatched=%v", len(res.Sites), minus, mismatched)
+	}
+	return g, guides, res.Sites
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run Golden -update` to create fixtures)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden fixture (byte diff at offset %d); if intentional, regenerate with -update",
+			name, firstDiff(got, want))
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func TestGoldenTSV(t *testing.T) {
+	_, _, sites := goldenSites(t)
+	var buf bytes.Buffer
+	if err := WriteSitesTSV(&buf, sites); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_sites.tsv", buf.Bytes())
+}
+
+func TestGoldenBED(t *testing.T) {
+	_, _, sites := goldenSites(t)
+	var buf bytes.Buffer
+	if err := WriteSitesBED(&buf, sites); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_sites.bed", buf.Bytes())
+}
+
+// fastaOf renders a genome as FASTA text for the streaming pipeline.
+func fastaOf(g *Genome) string {
+	var b strings.Builder
+	for _, c := range g.Chroms {
+		b.WriteString(">")
+		b.WriteString(c.Name)
+		b.WriteString("\n")
+		b.WriteString(c.Seq.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestGoldenStreamingEquivalence: emitting rows incrementally from the
+// streaming pipeline's yield callback produces byte-identical TSV and
+// BED output to the batch writers over the in-memory search — the
+// contract that lets the CLI stream a 3 Gbp reference with constant
+// memory and still match batch output exactly.
+func TestGoldenStreamingEquivalence(t *testing.T) {
+	g, guides, sites := goldenSites(t)
+
+	var batchTSV, batchBED bytes.Buffer
+	if err := WriteSitesTSV(&batchTSV, sites); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSitesBED(&batchBED, sites); err != nil {
+		t.Fatal(err)
+	}
+
+	var streamTSV, streamBED bytes.Buffer
+	if err := WriteSitesTSVHeader(&streamTSV); err != nil {
+		t.Fatal(err)
+	}
+	_, err := SearchStream(strings.NewReader(fastaOf(g)), guides, Params{MaxMismatches: 5}, func(s Site) error {
+		if err := WriteSiteTSV(&streamTSV, s); err != nil {
+			return err
+		}
+		return WriteSiteBED(&streamBED, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(streamTSV.Bytes(), batchTSV.Bytes()) {
+		t.Errorf("streaming TSV diverges from batch at offset %d", firstDiff(streamTSV.Bytes(), batchTSV.Bytes()))
+	}
+	if !bytes.Equal(streamBED.Bytes(), batchBED.Bytes()) {
+		t.Errorf("streaming BED diverges from batch at offset %d", firstDiff(streamBED.Bytes(), batchBED.Bytes()))
+	}
+	// And the streamed TSV matches the checked-in fixture transitively.
+	checkGolden(t, "golden_sites.tsv", streamTSV.Bytes())
+}

@@ -5,25 +5,29 @@ import (
 	"strings"
 )
 
-// ClockGuard keeps the modeled platforms analytic. The AP, FPGA and
-// iNFAnt2 engines (and the arch package that defines their shared
-// timing abstractions) predict device time from published constants;
-// reading the host clock inside them would entangle simulation results
-// with wall-clock noise and break reproducibility of the paper's
-// modeled numbers. time.Now / time.Since are therefore forbidden in
-// those packages (tests included — a deterministic model needs no
-// clock even under test). The one legitimate exception,
-// arch.MeasuredSeconds (the helper the *measured* engines use), carries
-// a //crisprlint:allow clockguard directive.
+// ClockGuard makes internal/metrics the module's single clock
+// authority. Raw time.Now / time.Since reads are forbidden everywhere
+// else (tests included): measured code must go through
+// metrics.Now/Stopwatch/MeasureSeconds so instrumentation and
+// benchmarks share one monotonic clock, artifact stamping must use
+// metrics.Wall, and the modeled platforms (internal/ap, internal/fpga,
+// internal/infant, internal/arch) must stay fully analytic — a clock
+// read there would entangle the paper's modeled numbers with
+// wall-clock noise. Modeled-platform violations get a sharper message
+// because the fix differs (inject measured values from the caller
+// rather than switching to the metrics clock). Escape hatch:
+// //crisprlint:allow clockguard.
 var ClockGuard = &Analyzer{
 	Name: "clockguard",
-	Doc: "modeled-platform packages (internal/ap, internal/fpga, internal/infant, " +
-		"internal/arch) must not read the host clock (time.Now/time.Since)",
+	Doc: "raw time.Now/time.Since is allowed only in internal/metrics, the " +
+		"module's clock authority; modeled-platform packages (internal/ap, " +
+		"internal/fpga, internal/infant, internal/arch) must stay fully analytic",
 	Run: runClockGuard,
 }
 
-// clockGuardedPkgs are the module-relative package paths under guard.
-var clockGuardedPkgs = []string{
+// clockModeledPkgs are the modeled-platform package paths whose
+// violations carry the determinism message.
+var clockModeledPkgs = []string{
 	"internal/ap",
 	"internal/fpga",
 	"internal/infant",
@@ -31,15 +35,16 @@ var clockGuardedPkgs = []string{
 }
 
 func runClockGuard(pass *Pass) error {
-	guarded := false
-	for _, suffix := range clockGuardedPkgs {
+	// internal/metrics is the one sanctioned clock reader.
+	if pass.InModulePackage("internal/metrics") {
+		return nil
+	}
+	modeled := false
+	for _, suffix := range clockModeledPkgs {
 		if pass.InModulePackage(suffix) {
-			guarded = true
+			modeled = true
 			break
 		}
-	}
-	if !guarded {
-		return nil
 	}
 	for _, f := range pass.Pkg.AllFiles() {
 		// Only flag uses where `time` really is the stdlib package, not
@@ -56,8 +61,14 @@ func runClockGuard(pass *Pass) error {
 			if !ok || x.Name != "time" {
 				return true
 			}
-			if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+			if sel.Sel.Name != "Now" && sel.Sel.Name != "Since" {
+				return true
+			}
+			if modeled {
 				pass.Reportf(sel.Pos(), "time.%s in modeled-platform package %s: analytic timing models must stay deterministic (inject measured values from the caller)",
+					sel.Sel.Name, pass.Pkg.Name)
+			} else {
+				pass.Reportf(sel.Pos(), "time.%s outside internal/metrics: use metrics.Now/Stopwatch/MeasureSeconds for measurement or metrics.Wall for stamping (package %s)",
 					sel.Sel.Name, pass.Pkg.Name)
 			}
 			return true

@@ -17,7 +17,12 @@ func TestClockGuardHonorsAllowDirective(t *testing.T) {
 		analysistest.Pkg{Dir: "clockguard/allowed", Path: analysistest.ModulePath + "/internal/arch"})
 }
 
-func TestClockGuardSilentInMeasuredPackages(t *testing.T) {
+func TestClockGuardFiresInMeasuredPackages(t *testing.T) {
 	analysistest.Run(t, analysis.ClockGuard,
 		analysistest.Pkg{Dir: "clockguard/okmeasured", Path: analysistest.ModulePath + "/internal/hscan"})
+}
+
+func TestClockGuardSilentInMetricsPackage(t *testing.T) {
+	analysistest.Run(t, analysis.ClockGuard,
+		analysistest.Pkg{Dir: "clockguard/okmetrics", Path: analysistest.ModulePath + "/internal/metrics"})
 }

@@ -1,0 +1,11 @@
+// Fixture: internal/metrics is the one sanctioned clock reader — the
+// guard is silent here no matter how the clock is used.
+package metrics
+
+import "time"
+
+var clockBase = time.Now()
+
+func now() int64 { return int64(time.Since(clockBase)) }
+
+func wall() time.Time { return time.Now() }

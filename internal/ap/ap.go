@@ -21,6 +21,7 @@ import (
 	"github.com/cap-repro/crisprscan/internal/arch"
 	"github.com/cap-repro/crisprscan/internal/automata"
 	"github.com/cap-repro/crisprscan/internal/genome"
+	"github.com/cap-repro/crisprscan/internal/metrics"
 )
 
 // Device holds the published AP hardware constants.
@@ -94,6 +95,18 @@ type Model struct {
 	streams int
 	// symbolsPerBase is 1 for stride-1, 0.5 for stride-2.
 	symbolsPerBase float64
+
+	// rec receives scan metrics; the model records its analytic
+	// device-time steps (never wall clock — the model must stay
+	// deterministic, see the clockguard analyzer).
+	rec *metrics.Recorder
+}
+
+// SetMetrics implements arch.Instrumented. The one-time configuration
+// cost is recorded immediately as the modeled compile step.
+func (m *Model) SetMetrics(rec *metrics.Recorder) {
+	m.rec = rec
+	rec.SetModeledSeconds("compile", m.EstimateBreakdown(0, 0).Compile)
 }
 
 // Compile builds the automata network for the pattern specs and places
@@ -201,12 +214,31 @@ func (m *Model) NFA() *automata.NFA { return m.nfa }
 func (m *Model) ScanChrom(c *genome.Chromosome, emit func(automata.Report)) error {
 	sim := automata.NewSim(m.nfa)
 	in := automata.SymbolsOfSeq(c.Seq)
-	if m.opt.Stride2 {
-		automata.ScanStride2(sim, in, emit)
-		return nil
+	reports := 0
+	count := func(r automata.Report) {
+		reports++
+		emit(r)
 	}
-	sim.Scan(in, emit)
+	if m.opt.Stride2 {
+		automata.ScanStride2(sim, in, count)
+	} else {
+		sim.Scan(in, count)
+	}
+	m.recordModeled(len(c.Seq), reports)
 	return nil
+}
+
+// recordModeled accumulates the analytic per-chromosome device-time
+// steps and event counts into the metrics recorder.
+func (m *Model) recordModeled(inputLen, reports int) {
+	if m.rec == nil {
+		return
+	}
+	m.rec.Add(metrics.CounterCandidateWindows, int64(inputLen))
+	b := m.EstimateBreakdown(inputLen, reports)
+	m.rec.AddModeledSeconds("transfer", b.Transfer)
+	m.rec.AddModeledSeconds("kernel", b.Kernel)
+	m.rec.AddModeledSeconds("report", b.Report)
 }
 
 // EstimateBreakdown implements arch.Modeled. The kernel streams

@@ -23,6 +23,7 @@ import (
 	"github.com/cap-repro/crisprscan/internal/automata"
 	"github.com/cap-repro/crisprscan/internal/dna"
 	"github.com/cap-repro/crisprscan/internal/genome"
+	"github.com/cap-repro/crisprscan/internal/metrics"
 )
 
 // PatternSpec is the engine-independent description of one search
@@ -118,6 +119,26 @@ func ScanChrom(ctx context.Context, e Engine, c *genome.Chromosome, emit func(au
 	return e.ScanChrom(c, emit)
 }
 
+// Instrumented is implemented by engines that report execution metrics
+// (counters, per-chunk latency, modeled device-time steps) into a
+// shared recorder. The orchestrator installs its recorder on every
+// engine that supports it before scanning starts.
+type Instrumented interface {
+	Engine
+	// SetMetrics installs the recorder the engine reports into; nil
+	// detaches instrumentation. Must be called before scanning starts
+	// (engines read the recorder without synchronization).
+	SetMetrics(*metrics.Recorder)
+}
+
+// SetMetrics installs rec on e when the engine is Instrumented and is
+// a no-op otherwise.
+func SetMetrics(e Engine, rec *metrics.Recorder) {
+	if ie, ok := e.(Instrumented); ok {
+		ie.SetMetrics(rec)
+	}
+}
+
 // DefaultChunk is the work-unit size, in input positions, that
 // ChunkScan hands to pool workers. It bounds both cancellation latency
 // (ctx is checked between chunks) and the blast radius of a worker
@@ -138,9 +159,15 @@ const DefaultChunk = 1 << 16
 //     order, so emission order is deterministic regardless of worker
 //     interleaving. On any error no events are returned.
 //
+// It is also the pool's single instrumentation point: when rec is
+// non-nil every chunk dispatch is counted, its latency lands in the
+// recorder's histogram sketch (and, with a tracer attached, as one
+// span per chunk), and recovered worker panics are counted. A nil rec
+// costs one nil check per chunk.
+//
 // scan is called with [lo, hi) chunk bounds and appends its events to
 // *out; it must not retain out across calls.
-func ChunkScan(ctx context.Context, label string, workers, total, chunkSize int, scan func(lo, hi int, out *[]automata.Report) error) ([][]automata.Report, error) {
+func ChunkScan(ctx context.Context, label string, workers, total, chunkSize int, rec *metrics.Recorder, scan func(lo, hi int, out *[]automata.Report) error) ([][]automata.Report, error) {
 	if total <= 0 {
 		return nil, nil
 	}
@@ -154,6 +181,7 @@ func ChunkScan(ctx context.Context, label string, workers, total, chunkSize int,
 	if workers > n {
 		workers = n
 	}
+	traced := rec.Traced()
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	out := make([][]automata.Report, n)
@@ -178,7 +206,14 @@ func ChunkScan(ctx context.Context, label string, workers, total, chunkSize int,
 				if hi > total {
 					hi = total
 				}
-				if err := runChunk(label, i, lo, hi, scan, &out[i]); err != nil {
+				chunkLabel := label
+				if traced {
+					chunkLabel = fmt.Sprintf("%s chunk %d", label, i)
+				}
+				endChunk := rec.StartChunk(chunkLabel)
+				err := runChunk(label, i, lo, hi, rec, scan, &out[i])
+				endChunk()
+				if err != nil {
 					errs[w] = err
 					cancel()
 					return
@@ -194,9 +229,10 @@ func ChunkScan(ctx context.Context, label string, workers, total, chunkSize int,
 }
 
 // runChunk executes one chunk under a panic guard.
-func runChunk(label string, idx, lo, hi int, scan func(lo, hi int, out *[]automata.Report) error, out *[]automata.Report) (err error) {
+func runChunk(label string, idx, lo, hi int, rec *metrics.Recorder, scan func(lo, hi int, out *[]automata.Report) error, out *[]automata.Report) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			rec.Add(metrics.CounterPanicsRecovered, 1)
 			err = fmt.Errorf("arch: %s: worker panic on chunk %d [%d:%d): %v", label, idx, lo, hi, r)
 		}
 	}()
@@ -326,12 +362,9 @@ func maxInt(a, b int) int {
 }
 
 // MeasuredSeconds runs fn once and returns wall-clock seconds; the
-// harness uses it for the measured engines. It is the one sanctioned
-// clock read in this package: the modeled platforms themselves must
-// stay analytic (see the clockguard analyzer).
+// harness uses it for the measured engines. It delegates to the
+// metrics package's monotonic clock — the modeled platforms themselves
+// must stay analytic (see the clockguard analyzer).
 func MeasuredSeconds(fn func() error) (float64, error) {
-	start := time.Now() //crisprlint:allow clockguard measured-engine wall-clock helper, not a model
-	err := fn()
-	//crisprlint:allow clockguard measured-engine wall-clock helper, not a model
-	return time.Since(start).Seconds(), err
+	return metrics.MeasureSeconds(fn)
 }

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"io"
 	"strings"
-	"time"
 
 	"github.com/cap-repro/crisprscan/internal/arch"
 	"github.com/cap-repro/crisprscan/internal/automata"
@@ -17,6 +16,7 @@ import (
 	"github.com/cap-repro/crisprscan/internal/dna"
 	"github.com/cap-repro/crisprscan/internal/genome"
 	"github.com/cap-repro/crisprscan/internal/hscan"
+	"github.com/cap-repro/crisprscan/internal/metrics"
 )
 
 // Scale bundles the workload sizes of one run profile. The paper ran
@@ -95,16 +95,22 @@ func (w *Workload) Specs() []arch.PatternSpec {
 }
 
 // MeasureEngine wall-clocks one functional scan and returns seconds and
-// the raw event count.
+// the raw event count. Timing goes through the metrics package's
+// monotonic clock, the module's single clock authority.
 func MeasureEngine(w *Workload, e arch.Engine) (seconds float64, events int, err error) {
-	start := time.Now()
-	for ci := range w.Genome.Chroms {
-		c := &w.Genome.Chroms[ci]
-		if err := e.ScanChrom(c, func(automata.Report) { events++ }); err != nil {
-			return 0, 0, err
+	seconds, err = metrics.MeasureSeconds(func() error {
+		for ci := range w.Genome.Chroms {
+			c := &w.Genome.Chroms[ci]
+			if serr := e.ScanChrom(c, func(automata.Report) { events++ }); serr != nil {
+				return serr
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
 	}
-	return time.Since(start).Seconds(), events, nil
+	return seconds, events, nil
 }
 
 // CountEvents runs the fastest measured engine (parallel bitap) to

@@ -25,6 +25,7 @@ import (
 	"github.com/cap-repro/crisprscan/internal/automata"
 	"github.com/cap-repro/crisprscan/internal/dna"
 	"github.com/cap-repro/crisprscan/internal/genome"
+	"github.com/cap-repro/crisprscan/internal/metrics"
 )
 
 // compiledGuide is the packed comparison form of one spec.
@@ -62,7 +63,14 @@ type Engine struct {
 	// the chunk's [lo, hi) candidate-position bounds. Tests use it to
 	// inject panics and trigger cancellation; it is nil in production.
 	chunkHook func(lo, hi int)
+
+	// rec receives scan metrics; nil disables instrumentation. Counts
+	// accumulate locally per chunk and flush with one atomic add each.
+	rec *metrics.Recorder
 }
+
+// SetMetrics implements arch.Instrumented.
+func (e *Engine) SetMetrics(rec *metrics.Recorder) { e.rec = rec }
 
 // New compiles the pattern set.
 func New(specs []arch.PatternSpec, workers int) (*Engine, error) {
@@ -172,12 +180,16 @@ func (e *Engine) ScanChromContext(ctx context.Context, c *genome.Chromosome, emi
 	if workers > runtime.NumCPU() {
 		workers = runtime.NumCPU()
 	}
-	chunks, err := arch.ChunkScan(ctx, e.Name()+" "+c.Name, workers, total, arch.DefaultChunk,
+	chunks, err := arch.ChunkScan(ctx, e.Name()+" "+c.Name, workers, total, arch.DefaultChunk, e.rec,
 		func(lo, hi int, out *[]automata.Report) error {
 			if h := e.chunkHook; h != nil {
 				h(lo, hi)
 			}
-			*out = e.scanSpan(c, lo, hi)
+			var hits, verifs int64
+			*out, hits, verifs = e.scanSpan(c, lo, hi)
+			e.rec.Add(metrics.CounterCandidateWindows, int64(hi-lo))
+			e.rec.Add(metrics.CounterPrefilterHits, hits)
+			e.rec.Add(metrics.CounterVerifications, verifs)
 			return nil
 		})
 	if err != nil {
@@ -191,26 +203,31 @@ func (e *Engine) ScanChromContext(ctx context.Context, c *genome.Chromosome, emi
 	return nil
 }
 
-// scanSpan tests candidate window starts in [lo, hi).
-func (e *Engine) scanSpan(c *genome.Chromosome, lo, hi int) []automata.Report {
-	var out []automata.Report
+// scanSpan tests candidate window starts in [lo, hi). Alongside the
+// match reports it returns the counts of PAM hits (step-1 survivors)
+// and per-guide spacer verifications, accumulated locally so the
+// caller flushes them to the metrics recorder once per chunk.
+func (e *Engine) scanSpan(c *genome.Chromosome, lo, hi int) (out []automata.Report, hits, verifs int64) {
 	for p := lo; p < hi; p++ {
 		for gi := range e.groups {
-			out = e.scanGroup(&e.groups[gi], c, p, out)
+			var h, v int64
+			out, h, v = e.scanGroup(&e.groups[gi], c, p, out)
+			hits += h
+			verifs += v
 		}
 	}
-	return out
+	return out, hits, verifs
 }
 
-func (e *Engine) scanGroup(g *group, c *genome.Chromosome, p int, out []automata.Report) []automata.Report {
+func (e *Engine) scanGroup(g *group, c *genome.Chromosome, p int, out []automata.Report) ([]automata.Report, int64, int64) {
 	if len(g.guides) == 0 {
-		return out
+		return out, 0, 0
 	}
 	seq := c.Seq
 	// Step 1: PAM test (cheap rejection, as in Cas-OFFinder).
 	for i := range g.pamT {
 		if !g.pamT[i][codeOf(seq[p+g.pamOff+i])] {
-			return out
+			return out, 0, 0
 		}
 	}
 	// Step 2: per-guide packed comparison. Any ambiguous base in the
@@ -218,7 +235,7 @@ func (e *Engine) scanGroup(g *group, c *genome.Chromosome, p int, out []automata
 	// dead-symbol semantics of the automata engines.
 	codes, amb := c.Packed.Window(p+g.spacerOff, e.spacerLen)
 	if amb != 0 {
-		return out
+		return out, 1, 0
 	}
 	for gi := range g.guides {
 		cg := &g.guides[gi]
@@ -228,7 +245,7 @@ func (e *Engine) scanGroup(g *group, c *genome.Chromosome, p int, out []automata
 			out = append(out, automata.Report{Code: cg.code, End: p + e.siteLen - 1})
 		}
 	}
-	return out
+	return out, 1, int64(len(g.guides))
 }
 
 // Comparisons returns the work a genome of the given size requires (the

@@ -22,6 +22,7 @@ import (
 	"github.com/cap-repro/crisprscan/internal/automata"
 	"github.com/cap-repro/crisprscan/internal/dna"
 	"github.com/cap-repro/crisprscan/internal/genome"
+	"github.com/cap-repro/crisprscan/internal/metrics"
 )
 
 // Options configures the seed constraint. CasOT distinguishes the
@@ -43,7 +44,15 @@ var DefaultOptions = Options{SeedLen: 12, MaxSeedMismatches: 2}
 type Engine struct {
 	specs []arch.PatternSpec
 	opt   Options
+
+	// rec receives scan metrics; nil disables instrumentation. Being
+	// single-threaded, the engine accumulates counts locally and
+	// flushes once per chromosome.
+	rec *metrics.Recorder
 }
+
+// SetMetrics implements arch.Instrumented.
+func (e *Engine) SetMetrics(rec *metrics.Recorder) { e.rec = rec }
 
 // New validates the pattern set. All specs must share spacer length and
 // PAM (as with Cas-OFFinder, batching is per PAM).
@@ -82,19 +91,25 @@ func (e *Engine) ScanChrom(c *genome.Chromosome, emit func(automata.Report)) err
 	seq := c.Seq
 	spacerLen := len(e.specs[0].Spacer)
 	site := e.specs[0].SiteLen()
+	// Candidate windows for CasOT are positions x patterns: each pattern
+	// rescans the chromosome, which is its defining cost structure.
+	var candidates, pamHits, verifs int64
 	for si := range e.specs {
 		spec := &e.specs[si]
 		pamOff := spec.PAMOffset()
 		spacerOff := spec.SpacerOffset()
 		inSeed := seedMembership(spacerLen, e.opt.SeedLen, spec.PAMLeft)
 		for p := 0; p+site <= len(seq); p++ {
+			candidates++
 			if !pamOK(spec.PAM, seq[p+pamOff:p+pamOff+len(spec.PAM)]) {
 				continue
 			}
+			pamHits++
 			window := seq[p+spacerOff : p+spacerOff+spacerLen]
 			if window.HasAmbiguous() {
 				continue
 			}
+			verifs++
 			total, seed := 0, 0
 			ok := true
 			for i := 0; i < spacerLen; i++ {
@@ -114,6 +129,9 @@ func (e *Engine) ScanChrom(c *genome.Chromosome, emit func(automata.Report)) err
 			}
 		}
 	}
+	e.rec.Add(metrics.CounterCandidateWindows, candidates)
+	e.rec.Add(metrics.CounterPrefilterHits, pamHits)
+	e.rec.Add(metrics.CounterVerifications, verifs)
 	return nil
 }
 

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/dna"
+	"github.com/cap-repro/crisprscan/internal/genome"
+	"github.com/cap-repro/crisprscan/internal/metrics"
+	"github.com/cap-repro/crisprscan/internal/report"
+)
+
+// TestBytesScannedExact is the audit for the chunk-overlap
+// double-counting hazard: the data-parallel engines hand each worker
+// chunk a left overlap of MaxSiteLen-1 bases so windows spanning a
+// boundary are owned by exactly one chunk — if bytes were counted per
+// chunk, every overlap region would be counted twice. Bytes are
+// therefore counted once per completed chromosome by the orchestrator;
+// this test pins the exact totals, on chromosomes larger than the
+// 64 KiB chunk (so multi-chunk paths run), with workers > 1, for every
+// registered engine, in both Stats and the metrics counter.
+func TestBytesScannedExact(t *testing.T) {
+	// 100000 and 70000 both exceed arch.DefaultChunk (65536), so the
+	// parallel engines split each chromosome into 2+ chunks with overlap.
+	g := genome.Synthesize(genome.SynthConfig{Seed: 701, ChromLen: 100000, NumChroms: 1})
+	g2 := genome.Synthesize(genome.SynthConfig{Seed: 702, ChromLen: 70000, NumChroms: 1})
+	g2.Chroms[0].Name = "chr2"
+	g.Chroms = append(g.Chroms, g2.Chroms[0])
+	wantBytes := int64(100000 + 70000)
+
+	pam := dna.MustParsePattern("NGG")
+	raw := genome.SampleGuides(g, 2, 20, pam, 703)
+	if len(raw) < 2 {
+		t.Fatalf("fixture supplied %d/2 guides", len(raw))
+	}
+	guides := make([]dna.Pattern, len(raw))
+	for i, r := range raw {
+		guides[i] = dna.PatternFromSeq(r)
+	}
+
+	for _, kind := range AllEngines {
+		t.Run(string(kind), func(t *testing.T) {
+			rec := metrics.NewRecorder()
+			res, err := Search(g, guides, Params{
+				MaxMismatches: 3, Engine: kind, Workers: 4, Metrics: rec,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(res.Stats.BytesScanned) != wantBytes {
+				t.Errorf("Stats.BytesScanned = %d, want exactly %d", res.Stats.BytesScanned, wantBytes)
+			}
+			if got := res.Stats.Metrics.Counters.BytesScanned; got != wantBytes {
+				t.Errorf("metrics bytes_scanned = %d, want exactly %d", got, wantBytes)
+			}
+			// The live counter agrees with the snapshot.
+			if got := rec.CounterValue(metrics.CounterBytesScanned); got != wantBytes {
+				t.Errorf("recorder counter = %d, want exactly %d", got, wantBytes)
+			}
+		})
+	}
+}
+
+// TestBytesScannedExactStreaming pins the same totals for the streaming
+// pipeline, which counts from the freshly parsed sequence length.
+func TestBytesScannedExactStreaming(t *testing.T) {
+	g := genome.Synthesize(genome.SynthConfig{Seed: 704, ChromLen: 80000, NumChroms: 2})
+	var fa strings.Builder
+	for _, c := range g.Chroms {
+		fa.WriteString(">" + c.Name + "\n" + c.Seq.String() + "\n")
+	}
+	wantBytes := int64(2 * 80000)
+
+	pam := dna.MustParsePattern("NGG")
+	raw := genome.SampleGuides(g, 2, 20, pam, 705)
+	guides := make([]dna.Pattern, len(raw))
+	for i, r := range raw {
+		guides[i] = dna.PatternFromSeq(r)
+	}
+
+	rec := metrics.NewRecorder()
+	stats, err := SearchStream(strings.NewReader(fa.String()), guides, Params{
+		MaxMismatches: 3, Workers: 4, Metrics: rec,
+	}, func(report.Site) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(stats.BytesScanned) != wantBytes {
+		t.Errorf("Stats.BytesScanned = %d, want exactly %d", stats.BytesScanned, wantBytes)
+	}
+	if got := stats.Metrics.Counters.BytesScanned; got != wantBytes {
+		t.Errorf("metrics bytes_scanned = %d, want exactly %d", got, wantBytes)
+	}
+	// Chunked engines must actually have chunked (the premise of the
+	// overlap hazard this test guards against).
+	if stats.Metrics.Counters.ChunksDispatched < 2 {
+		t.Errorf("chunks_dispatched = %d; fixture failed to exercise multi-chunk scan", stats.Metrics.Counters.ChunksDispatched)
+	}
+}

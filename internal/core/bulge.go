@@ -3,12 +3,12 @@ package core
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"github.com/cap-repro/crisprscan/internal/align"
 	"github.com/cap-repro/crisprscan/internal/automata"
 	"github.com/cap-repro/crisprscan/internal/dna"
 	"github.com/cap-repro/crisprscan/internal/genome"
+	"github.com/cap-repro/crisprscan/internal/metrics"
 	"github.com/cap-repro/crisprscan/internal/report"
 )
 
@@ -160,7 +160,11 @@ func resolveBulge(c *genome.Chromosome, ev automata.Report, guides []dna.Pattern
 // BulgeElapsed wraps SearchBulge with wall-clock measurement for the
 // E12 experiment.
 func BulgeElapsed(g *genome.Genome, guides []dna.Pattern, p BulgeParams) ([]BulgeSite, float64, error) {
-	start := time.Now()
-	sites, err := SearchBulge(g, guides, p)
-	return sites, time.Since(start).Seconds(), err
+	var sites []BulgeSite
+	sec, err := metrics.MeasureSeconds(func() error {
+		var serr error
+		sites, serr = SearchBulge(g, guides, p)
+		return serr
+	})
+	return sites, sec, err
 }

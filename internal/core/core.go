@@ -8,7 +8,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"github.com/cap-repro/crisprscan/internal/ap"
 	"github.com/cap-repro/crisprscan/internal/arch"
@@ -20,6 +19,7 @@ import (
 	"github.com/cap-repro/crisprscan/internal/genome"
 	"github.com/cap-repro/crisprscan/internal/hscan"
 	"github.com/cap-repro/crisprscan/internal/infant"
+	"github.com/cap-repro/crisprscan/internal/metrics"
 	"github.com/cap-repro/crisprscan/internal/report"
 )
 
@@ -93,6 +93,11 @@ type Params struct {
 	// MergeStates / Stride2 toggle the spatial-platform optimizations.
 	MergeStates bool
 	Stride2     bool
+	// Metrics, when non-nil, is the recorder the search reports into —
+	// callers provide one to attach a Tracer or to aggregate several
+	// searches into one recorder. When nil the orchestrator creates a
+	// private recorder; either way every Result carries a Snapshot.
+	Metrics *metrics.Recorder
 }
 
 func (p *Params) defaults() {
@@ -104,6 +109,9 @@ func (p *Params) defaults() {
 	}
 	if p.Workers <= 0 {
 		p.Workers = 1
+	}
+	if p.Metrics == nil {
+		p.Metrics = metrics.NewRecorder()
 	}
 }
 
@@ -124,6 +132,12 @@ type Stats struct {
 	Modeled *arch.Breakdown
 	// Resources holds spatial resource usage for modeled platforms.
 	Resources *arch.ResourceUsage
+	// Metrics is the instrumentation snapshot for this execution:
+	// per-phase timings, event counters and the chunk-latency sketch
+	// (see metrics.Snapshot). Populated on every Search* result; when
+	// the caller supplied Params.Metrics, the snapshot covers everything
+	// that recorder accumulated, including prior searches.
+	Metrics *metrics.Snapshot
 }
 
 // Result is a completed search.
@@ -242,6 +256,9 @@ func prepare(guides []dna.Pattern, p *Params) (arch.Engine, *report.Resolver, er
 	if err != nil {
 		return nil, nil, err
 	}
+	// Install the recorder before any test hook wraps the engine: a
+	// fault-injection wrapper must not hide the Instrumented interface.
+	arch.SetMetrics(engine, p.Metrics)
 	if engineHook != nil {
 		engine = engineHook(engine)
 	}
@@ -267,10 +284,13 @@ func Search(g *genome.Genome, guides []dna.Pattern, p Params) (*Result, error) {
 // and stats of the chromosomes completed before the abort, alongside an
 // error wrapping context.Canceled / context.DeadlineExceeded.
 func SearchContext(ctx context.Context, g *genome.Genome, guides []dna.Pattern, p Params) (*Result, error) {
+	swCompile := metrics.NewStopwatch()
 	engine, resolver, err := prepare(guides, &p)
 	if err != nil {
 		return nil, err
 	}
+	rec := p.Metrics
+	rec.AddPhaseNanos(metrics.PhaseCompile, swCompile.ElapsedNanos())
 	offset := 0
 	if p.Region != "" {
 		region, err := ParseRegion(p.Region)
@@ -284,18 +304,22 @@ func SearchContext(ctx context.Context, g *genome.Genome, guides []dna.Pattern, 
 	}
 	col := report.NewCollector(resolver)
 	events, bytesScanned := 0, 0
-	start := time.Now()
+	start := metrics.NewStopwatch()
 	partial := func(scanErr error) (*Result, error) {
+		endReport := rec.StartPhase(metrics.PhaseReport)
 		sites := col.Sites()
 		if offset != 0 {
 			for i := range sites {
 				sites[i].Pos += offset
 			}
 		}
+		endReport()
+		rec.Add(metrics.CounterSitesEmitted, int64(len(sites)))
 		res := &Result{
 			Sites: sites,
-			Stats: Stats{Engine: engine.Name(), ElapsedSec: time.Since(start).Seconds(), Events: events, BytesScanned: bytesScanned},
+			Stats: Stats{Engine: engine.Name(), ElapsedSec: start.Seconds(), Events: events, BytesScanned: bytesScanned},
 		}
+		res.Stats.Metrics = rec.Snapshot()
 		return res, scanErr
 	}
 	for ci := range g.Chroms {
@@ -304,19 +328,35 @@ func SearchContext(ctx context.Context, g *genome.Genome, guides []dna.Pattern, 
 			return partial(fmt.Errorf("core: search canceled after %d/%d chromosomes: %w", ci, len(g.Chroms), err))
 		}
 		var addErr error
+		// Event resolution runs inline in the emit callback, so the
+		// chromosome's verify share is measured per event and subtracted
+		// from the scan stopwatch to get the pure prefilter time.
+		var verifyNs int64
+		endSpan := rec.TraceSpan("scan " + c.Name)
+		swScan := metrics.NewStopwatch()
 		err := scanChromSafe(ctx, engine, c, func(r automata.Report) {
 			events++
+			t0 := metrics.Now()
 			if e := col.Add(c, r); e != nil && addErr == nil {
 				addErr = e
 			}
+			verifyNs += metrics.Now() - t0
 		})
+		scanNs := swScan.ElapsedNanos()
+		endSpan()
 		if err == nil {
 			err = addErr
 		}
 		if err != nil {
 			return partial(fmt.Errorf("core: chromosome %s: %w", c.Name, err))
 		}
+		rec.AddPhaseNanos(metrics.PhaseVerify, verifyNs)
+		rec.AddPhaseNanos(metrics.PhasePrefilter, scanNs-verifyNs)
+		// Bytes are counted here, per completed chromosome — never per
+		// chunk, where overlap regions would double-count (see the
+		// accounting regression tests).
 		bytesScanned += len(c.Seq)
+		rec.Add(metrics.CounterBytesScanned, int64(len(c.Seq)))
 	}
 	res, _ := partial(nil)
 	if m, ok := engine.(arch.Modeled); ok {

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/dna"
+	"github.com/cap-repro/crisprscan/internal/genome"
+)
+
+// fuzzPAMs is the PAM family the differential fuzzer draws from:
+// literal, single-ambiguity and highly ambiguous patterns.
+var fuzzPAMs = []string{"NGG", "NAG", "NRG", "NNG", "TTTV"}
+
+// FuzzEnginesAgree is the fuzz form of the cross-engine parity matrix:
+// for any derived (genome, guides, k, PAM) configuration, every engine
+// in AllEngines must return the byte-identical sorted site set. The
+// fuzzer owns the configuration space; the engines own the claim.
+func FuzzEnginesAgree(f *testing.F) {
+	// Seed corpus: the parity matrix fixture plus corners of the
+	// configuration space (tiny genome, many guides, k=0, k=5, PAM5
+	// geometry, multi-chromosome).
+	f.Add(int64(401), uint16(20000), uint8(2), uint8(3), uint8(3), uint8(0))
+	f.Add(int64(402), uint16(4000), uint8(1), uint8(1), uint8(0), uint8(1))
+	f.Add(int64(7), uint16(1500), uint8(3), uint8(5), uint8(5), uint8(2))
+	f.Add(int64(99), uint16(600), uint8(1), uint8(4), uint8(2), uint8(3))
+	f.Add(int64(1234), uint16(10000), uint8(2), uint8(2), uint8(4), uint8(4))
+
+	f.Fuzz(func(t *testing.T, seed int64, chromLen uint16, numChroms, numGuides, k, pamIdx uint8) {
+		// Derive a bounded configuration from the raw fuzz inputs: the
+		// interesting space is small genomes with several guides, where
+		// boundary and dedup bugs concentrate.
+		cl := 200 + int(chromLen)%8000
+		nc := 1 + int(numChroms)%3
+		ng := 1 + int(numGuides)%4
+		kk := int(k) % 6
+		pamStr := fuzzPAMs[int(pamIdx)%len(fuzzPAMs)]
+		pam5 := pamStr == "TTTV" // Cas12a PAM runs in Cas12a geometry
+
+		g := genome.Synthesize(genome.SynthConfig{Seed: seed, ChromLen: cl, NumChroms: nc})
+		pam := dna.MustParsePattern(pamStr)
+		raw := genome.SampleGuides(g, ng, 20, pam, seed+1)
+		if len(raw) < ng {
+			raw = append(raw, genome.RandomGuides(ng-len(raw), 20, seed+2)...)
+		}
+		guides := make([]dna.Pattern, len(raw))
+		for i, r := range raw {
+			guides[i] = dna.PatternFromSeq(r)
+		}
+
+		var refSites []string
+		var refEngine EngineKind
+		for _, kind := range AllEngines {
+			res, err := Search(g, guides, Params{
+				MaxMismatches: kk, PAM: pamStr, PAM5: pam5, Engine: kind,
+			})
+			if err != nil {
+				t.Fatalf("%s (seed=%d cl=%d nc=%d ng=%d k=%d pam=%s): %v",
+					kind, seed, cl, nc, ng, kk, pamStr, err)
+			}
+			got := make([]string, len(res.Sites))
+			for i, s := range res.Sites {
+				got[i] = fmt.Sprintf("%+v", s)
+			}
+			if refSites == nil {
+				refSites, refEngine = got, kind
+				continue
+			}
+			if len(got) != len(refSites) {
+				t.Fatalf("%s returned %d sites, %s returned %d (seed=%d cl=%d nc=%d ng=%d k=%d pam=%s)",
+					kind, len(got), refEngine, len(refSites), seed, cl, nc, ng, kk, pamStr)
+			}
+			for i := range refSites {
+				if got[i] != refSites[i] {
+					t.Fatalf("%s diverges from %s at site %d:\n  %s\n  %s\n(seed=%d cl=%d nc=%d ng=%d k=%d pam=%s)",
+						kind, refEngine, i, got[i], refSites[i], seed, cl, nc, ng, kk, pamStr)
+				}
+			}
+		}
+	})
+}

@@ -4,12 +4,12 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"time"
 
 	"github.com/cap-repro/crisprscan/internal/automata"
 	"github.com/cap-repro/crisprscan/internal/dna"
 	"github.com/cap-repro/crisprscan/internal/fasta"
 	"github.com/cap-repro/crisprscan/internal/genome"
+	"github.com/cap-repro/crisprscan/internal/metrics"
 	"github.com/cap-repro/crisprscan/internal/report"
 )
 
@@ -53,16 +53,20 @@ func SearchStreamContext(ctx context.Context, r io.Reader, guides []dna.Pattern,
 	if ctrl == nil {
 		ctrl = &StreamControl{}
 	}
+	swCompile := metrics.NewStopwatch()
 	engine, resolver, err := prepare(guides, &p)
 	if err != nil {
 		return nil, err
 	}
+	mrec := p.Metrics
+	mrec.AddPhaseNanos(metrics.PhaseCompile, swCompile.ElapsedNanos())
 
 	fr := fasta.NewReader(r)
 	stats := &Stats{Engine: engine.Name()}
-	start := time.Now()
+	start := metrics.NewStopwatch()
 	finish := func(streamErr error) (*Stats, error) {
-		stats.ElapsedSec = time.Since(start).Seconds()
+		stats.ElapsedSec = start.Seconds()
+		stats.Metrics = mrec.Snapshot()
 		return stats, streamErr
 	}
 	seen := make(map[string]bool)
@@ -70,43 +74,69 @@ func SearchStreamContext(ctx context.Context, r io.Reader, guides []dna.Pattern,
 		if err := ctx.Err(); err != nil {
 			return finish(fmt.Errorf("core: stream search canceled after %d chromosomes: %w", len(seen), err))
 		}
+		// The streaming pipeline decodes inside the measured region, so
+		// FASTA parsing and sequence packing are charged to PhaseLoad.
+		endLoad := mrec.StartPhase(metrics.PhaseLoad)
 		rec, err := fr.Next()
 		if err == io.EOF {
+			endLoad()
 			break
 		}
 		if err != nil {
+			endLoad()
 			return finish(fmt.Errorf("core: reading genome stream: %w", err))
 		}
 		if seen[rec.ID] {
+			endLoad()
 			return finish(fmt.Errorf("core: duplicate chromosome %q in stream", rec.ID))
 		}
 		seen[rec.ID] = true
 		if ctrl.SkipChrom != nil && ctrl.SkipChrom(rec.ID) {
+			endLoad()
 			continue
 		}
 		seq, _ := dna.ParseSeq(string(rec.Seq))
 		chrom := genome.Chromosome{Name: rec.ID, Seq: seq, Packed: dna.Pack(seq)}
+		endLoad()
 		col := report.NewCollector(resolver)
 		var addErr error
+		// Per-event resolution time is measured inline and subtracted
+		// from the scan stopwatch, as in SearchContext.
+		var verifyNs int64
+		endSpan := mrec.TraceSpan("scan " + rec.ID)
+		swScan := metrics.NewStopwatch()
 		err = scanChromSafe(ctx, engine, &chrom, func(ev automata.Report) {
 			stats.Events++
+			t0 := metrics.Now()
 			if e := col.Add(&chrom, ev); e != nil && addErr == nil {
 				addErr = e
 			}
+			verifyNs += metrics.Now() - t0
 		})
+		scanNs := swScan.ElapsedNanos()
+		endSpan()
 		if err == nil {
 			err = addErr
 		}
 		if err != nil {
 			return finish(fmt.Errorf("core: chromosome %s: %w", rec.ID, err))
 		}
+		mrec.AddPhaseNanos(metrics.PhaseVerify, verifyNs)
+		mrec.AddPhaseNanos(metrics.PhasePrefilter, scanNs-verifyNs)
+		// Bytes count once per completed chromosome (never per chunk,
+		// where overlap would double-count).
 		stats.BytesScanned += len(seq)
+		mrec.Add(metrics.CounterBytesScanned, int64(len(seq)))
+		endReport := mrec.StartPhase(metrics.PhaseReport)
 		sites := col.Sites()
 		for _, site := range sites {
 			if err := yield(site); err != nil {
+				endReport()
 				return finish(fmt.Errorf("core: yield on %s: %w", rec.ID, err))
 			}
 		}
+		endReport()
+		mrec.Add(metrics.CounterSitesEmitted, int64(len(sites)))
 		if ctrl.ChromDone != nil {
 			if err := ctrl.ChromDone(rec.ID, len(sites), int64(stats.BytesScanned)); err != nil {
 				return finish(fmt.Errorf("core: completing %s: %w", rec.ID, err))

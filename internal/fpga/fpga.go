@@ -19,6 +19,7 @@ import (
 	"github.com/cap-repro/crisprscan/internal/arch"
 	"github.com/cap-repro/crisprscan/internal/automata"
 	"github.com/cap-repro/crisprscan/internal/genome"
+	"github.com/cap-repro/crisprscan/internal/metrics"
 )
 
 // Device holds the FPGA part and board constants.
@@ -76,6 +77,17 @@ type Model struct {
 	res            arch.ResourceUsage
 	streams        int
 	symbolsPerBase float64
+
+	// rec receives scan metrics; the model records analytic device-time
+	// steps only (no wall clock — see the clockguard analyzer).
+	rec *metrics.Recorder
+}
+
+// SetMetrics implements arch.Instrumented. The one-time synthesis cost
+// is recorded immediately as the modeled compile step.
+func (m *Model) SetMetrics(rec *metrics.Recorder) {
+	m.rec = rec
+	rec.SetModeledSeconds("compile", m.EstimateBreakdown(0, 0).Compile)
 }
 
 // Compile builds and maps the automata network.
@@ -173,11 +185,23 @@ func (m *Model) LUTsUsed() int {
 func (m *Model) ScanChrom(c *genome.Chromosome, emit func(automata.Report)) error {
 	sim := automata.NewSim(m.nfa)
 	in := automata.SymbolsOfSeq(c.Seq)
-	if m.opt.Stride2 {
-		automata.ScanStride2(sim, in, emit)
-		return nil
+	reports := 0
+	count := func(r automata.Report) {
+		reports++
+		emit(r)
 	}
-	sim.Scan(in, emit)
+	if m.opt.Stride2 {
+		automata.ScanStride2(sim, in, count)
+	} else {
+		sim.Scan(in, count)
+	}
+	if m.rec != nil {
+		m.rec.Add(metrics.CounterCandidateWindows, int64(len(c.Seq)))
+		b := m.EstimateBreakdown(len(c.Seq), reports)
+		m.rec.AddModeledSeconds("transfer", b.Transfer)
+		m.rec.AddModeledSeconds("kernel", b.Kernel)
+		m.rec.AddModeledSeconds("report", b.Report)
+	}
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"github.com/cap-repro/crisprscan/internal/dfa"
 	"github.com/cap-repro/crisprscan/internal/dna"
 	"github.com/cap-repro/crisprscan/internal/genome"
+	"github.com/cap-repro/crisprscan/internal/metrics"
 )
 
 // Mode selects the execution path.
@@ -108,7 +109,15 @@ type Engine struct {
 	// the chunk's [lo, hi) bounds. Tests use it to inject panics and to
 	// trigger cancellation mid-scan; it is nil in production.
 	chunkHook func(lo, hi int)
+
+	// rec receives scan metrics; nil (the default) disables
+	// instrumentation. Engines flush locally accumulated counts once
+	// per chunk, so the hot loops never touch atomics per position.
+	rec *metrics.Recorder
 }
+
+// SetMetrics implements arch.Instrumented.
+func (e *Engine) SetMetrics(rec *metrics.Recorder) { e.rec = rec }
 
 // New compiles the pattern set for the given mode.
 func New(specs []PatternSpec, mode Mode) (*Engine, error) {
@@ -240,6 +249,7 @@ func (e *Engine) ScanChromContext(ctx context.Context, c *genome.Chromosome, emi
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("hscan: scan of %s canceled: %w", c.Name, err)
 		}
+		e.rec.Add(metrics.CounterCandidateWindows, int64(len(c.Seq)))
 		return e.scanRange(c.Seq, 0, emit)
 	}
 	return e.scanParallel(ctx, c.Name, c.Seq, emit)
@@ -265,14 +275,17 @@ func (e *Engine) scanChromPrefilter(ctx context.Context, c *genome.Chromosome, e
 	if total <= 0 {
 		return nil
 	}
-	chunks, err := arch.ChunkScan(ctx, e.Name()+" "+c.Name, e.workers(), total, arch.DefaultChunk,
+	chunks, err := arch.ChunkScan(ctx, e.Name()+" "+c.Name, e.workers(), total, arch.DefaultChunk, e.rec,
 		func(lo, hi int, out *[]automata.Report) error {
 			if h := e.chunkHook; h != nil {
 				h(lo, hi)
 			}
-			e.scanPrefilter(c, lo, hi, func(r automata.Report) {
+			hits, verifs := e.scanPrefilter(c, lo, hi, func(r automata.Report) {
 				*out = append(*out, r)
 			})
+			e.rec.Add(metrics.CounterCandidateWindows, int64(hi-lo))
+			e.rec.Add(metrics.CounterPrefilterHits, hits)
+			e.rec.Add(metrics.CounterVerifications, verifs)
 			return nil
 		})
 	if err != nil {
@@ -373,7 +386,7 @@ func (e *Engine) scanParallel(ctx context.Context, chrom string, seq dna.Seq, em
 	if chunk <= overlap {
 		chunk = overlap + 1
 	}
-	chunks, err := arch.ChunkScan(ctx, e.Name()+" "+chrom, e.workers(), len(seq), chunk,
+	chunks, err := arch.ChunkScan(ctx, e.Name()+" "+chrom, e.workers(), len(seq), chunk, e.rec,
 		func(lo, hi int, out *[]automata.Report) error {
 			if h := e.chunkHook; h != nil {
 				h(lo, hi)
@@ -382,11 +395,13 @@ func (e *Engine) scanParallel(ctx context.Context, chrom string, seq dna.Seq, em
 			if elo < 0 {
 				elo = 0
 			}
-			return e.scanRange(seq[elo:hi], elo, func(r automata.Report) {
+			err := e.scanRange(seq[elo:hi], elo, func(r automata.Report) {
 				if r.End >= lo && r.End < hi {
 					*out = append(*out, r)
 				}
 			})
+			e.rec.Add(metrics.CounterCandidateWindows, int64(hi-lo))
+			return err
 		})
 	if err != nil {
 		return err

@@ -97,31 +97,67 @@ func (e *Engine) buildPrefilter(specs []PatternSpec) error {
 	return nil
 }
 
+// confirm outcomes; a one-byte status keeps the per-position metrics
+// accounting off the hot path (the caller turns statuses into counter
+// totals using per-group pattern counts hoisted out of the loop).
+const (
+	confirmPAMReject = iota // PAM literal failed: candidate only
+	confirmAmbiguous        // PAM hit, window ambiguous: no verification
+	confirmVerified         // PAM hit, all patterns evaluated
+)
+
 // scanPrefilter runs the shared-literal pass. The packed representation
 // is required, so this mode consumes the chromosome rather than a bare
 // sequence slice; parallel chunking wraps it with position ownership.
-func (e *Engine) scanPrefilter(c *genome.Chromosome, lo, hi int, emit func(automata.Report)) {
+// It returns the counts of PAM-literal hits and of full anchored
+// verifications performed, accumulated locally so the caller can flush
+// them to the metrics recorder once per chunk. Counting costs a few
+// nanoseconds per position, so the uninstrumented case (no recorder
+// attached — raw engine benchmarks, bench.MeasureEngine) takes a
+// separate zero-accounting loop.
+func (e *Engine) scanPrefilter(c *genome.Chromosome, lo, hi int, emit func(automata.Report)) (hits, verifs int64) {
 	seq := c.Seq
+	if e.rec == nil {
+		for p := lo; p < hi; p++ {
+			for gi := range e.preGroups {
+				e.preGroups[gi].confirm(c, p, e.preSite, seq, emit)
+			}
+		}
+		return 0, 0
+	}
+	npats := make([]int64, len(e.preGroups))
+	for gi := range e.preGroups {
+		npats[gi] = int64(len(e.preGroups[gi].pats))
+	}
 	for p := lo; p < hi; p++ {
 		for gi := range e.preGroups {
-			e.preGroups[gi].confirm(c, p, e.preSite, seq, emit)
+			switch e.preGroups[gi].confirm(c, p, e.preSite, seq, emit) {
+			case confirmAmbiguous:
+				hits++
+			case confirmVerified:
+				hits++
+				verifs += npats[gi]
+			}
 		}
 	}
+	return hits, verifs
 }
 
-func (g *prefilterGroup) confirm(c *genome.Chromosome, p, siteLen int, seq dna.Seq, emit func(automata.Report)) {
+// confirm evaluates one anchor position for one group and reports what
+// happened as a confirm* status.
+func (g *prefilterGroup) confirm(c *genome.Chromosome, p, siteLen int, seq dna.Seq, emit func(automata.Report)) uint8 {
 	if len(g.pats) == 0 {
-		return
+		return confirmPAMReject
 	}
 	for i := range g.pamHit {
 		b := seq[p+g.pamOff+i]
 		if b > dna.T || !g.pamHit[i][b] {
-			return
+			return confirmPAMReject
 		}
 	}
 	codes, amb := c.Packed.Window(p+g.spacerOff, g.spacerLen)
 	if amb != 0 {
-		return
+		return confirmAmbiguous
 	}
 	for pi := range g.pats {
 		pat := &g.pats[pi]
@@ -131,4 +167,5 @@ func (g *prefilterGroup) confirm(c *genome.Chromosome, p, siteLen int, seq dna.S
 			emit(automata.Report{Code: pat.code, End: p + siteLen - 1})
 		}
 	}
+	return confirmVerified
 }

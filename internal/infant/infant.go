@@ -27,6 +27,7 @@ import (
 	"github.com/cap-repro/crisprscan/internal/automata"
 	"github.com/cap-repro/crisprscan/internal/dna"
 	"github.com/cap-repro/crisprscan/internal/genome"
+	"github.com/cap-repro/crisprscan/internal/metrics"
 )
 
 // Device holds the GPU model constants.
@@ -83,6 +84,17 @@ type Model struct {
 	// avgFanout is the mean out-degree, converting frontier size to
 	// transition-list work.
 	avgFanout float64
+
+	// rec receives scan metrics; the model records analytic device-time
+	// steps only (no wall clock — see the clockguard analyzer).
+	rec *metrics.Recorder
+}
+
+// SetMetrics implements arch.Instrumented. The one-time transition
+// table build/upload cost is recorded as the modeled compile step.
+func (m *Model) SetMetrics(rec *metrics.Recorder) {
+	m.rec = rec
+	rec.SetModeledSeconds("compile", m.EstimateBreakdown(0, 0).Compile)
 }
 
 // Compile builds the union automaton and measures its frontier.
@@ -155,7 +167,18 @@ func (m *Model) Resources() arch.ResourceUsage { return arch.ResourceUsage{} }
 
 // ScanChrom implements arch.Engine (functional path).
 func (m *Model) ScanChrom(c *genome.Chromosome, emit func(automata.Report)) error {
-	automata.NewSim(m.nfa).Scan(automata.SymbolsOfSeq(c.Seq), emit)
+	reports := 0
+	automata.NewSim(m.nfa).Scan(automata.SymbolsOfSeq(c.Seq), func(r automata.Report) {
+		reports++
+		emit(r)
+	})
+	if m.rec != nil {
+		m.rec.Add(metrics.CounterCandidateWindows, int64(len(c.Seq)))
+		b := m.EstimateBreakdown(len(c.Seq), reports)
+		m.rec.AddModeledSeconds("transfer", b.Transfer)
+		m.rec.AddModeledSeconds("kernel", b.Kernel)
+		m.rec.AddModeledSeconds("report", b.Report)
+	}
 	return nil
 }
 

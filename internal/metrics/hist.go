@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free log2-bucketed latency sketch: bucket i
+// counts observations with nanosecond value in [2^i, 2^(i+1)). The
+// geometric buckets bound relative quantile error at 2x, which is
+// plenty for spotting chunk-latency outliers, while keeping Observe to
+// two atomic adds plus a bit scan.
+type Histogram struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	maxNs   atomic.Int64
+	buckets [64]atomic.Int64
+}
+
+// Observe records one latency of ns nanoseconds (negative values are
+// clamped to zero).
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for {
+		old := h.maxNs.Load()
+		if ns <= old || h.maxNs.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+}
+
+// Snapshot renders the sketch into an immutable summary.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [64]int64
+	total := int64(0)
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{Count: total, MaxSec: secondsOf(h.maxNs.Load())}
+	if total == 0 {
+		return s
+	}
+	s.MeanSec = secondsOf(h.sumNs.Load()) / float64(total)
+	s.P50Sec = quantile(counts[:], total, 0.50)
+	s.P90Sec = quantile(counts[:], total, 0.90)
+	s.P99Sec = quantile(counts[:], total, 0.99)
+	return s
+}
+
+// quantile returns the geometric midpoint of the bucket holding the
+// q-quantile observation.
+func quantile(counts []int64, total int64, q float64) float64 {
+	rank := int64(q * float64(total-1))
+	seen := int64(0)
+	for i, c := range counts {
+		seen += c
+		if seen > rank {
+			// Bucket i spans [2^(i-1), 2^i) ns (bucket 0 is exactly 0);
+			// report the geometric midpoint.
+			if i == 0 {
+				return 0
+			}
+			lo := int64(1) << uint(i-1)
+			return secondsOf(lo + lo/2)
+		}
+	}
+	return 0
+}
+
+// HistogramSnapshot summarizes a latency distribution in seconds.
+type HistogramSnapshot struct {
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+	// MeanSec is the arithmetic mean latency.
+	MeanSec float64 `json:"mean_sec"`
+	// P50Sec, P90Sec and P99Sec are quantile estimates (log2 buckets:
+	// at most 2x relative error).
+	P50Sec float64 `json:"p50_sec"`
+	P90Sec float64 `json:"p90_sec"`
+	P99Sec float64 `json:"p99_sec"`
+	// MaxSec is the exact maximum observed latency.
+	MaxSec float64 `json:"max_sec"`
+}

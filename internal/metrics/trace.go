@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Tracer observes instrumented spans. Implementations must be safe for
+// concurrent use: spans open and close from orchestrator and worker
+// goroutines alike, and may nest and overlap freely.
+type Tracer interface {
+	// StartSpan begins a named span and returns the func that ends it.
+	// The returned func must be called exactly once.
+	StartSpan(name string) func()
+}
+
+// ChromeTracer renders spans in the Chrome trace-event JSON format
+// (catapult "JSON Array" flavor), loadable in chrome://tracing,
+// Perfetto, or speedscope — so any scan can be flame-graphed. Create
+// with NewChromeTracer, attach via Recorder.SetTracer, and Close after
+// the scan to finalize the array.
+type ChromeTracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	events int
+	err    error
+
+	// open approximates the number of concurrently open spans; it
+	// assigns each span a lane ("tid") so overlapping worker chunks
+	// render side by side instead of stacking into nonsense.
+	open atomic.Int64
+	base int64
+}
+
+// NewChromeTracer starts a trace written to w.
+func NewChromeTracer(w io.Writer) *ChromeTracer {
+	t := &ChromeTracer{w: w, base: Now()}
+	t.mu.Lock()
+	_, t.err = io.WriteString(w, "[")
+	t.mu.Unlock()
+	return t
+}
+
+// StartSpan implements Tracer. The span is emitted as one complete
+// ("X") event when the returned func runs.
+func (t *ChromeTracer) StartSpan(name string) func() {
+	lane := t.open.Add(1)
+	start := Now() - t.base
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			dur := Now() - t.base - start
+			t.open.Add(-1)
+			t.emit(name, lane, start, dur)
+		})
+	}
+}
+
+// emit appends one complete event. Timestamps are microseconds, per
+// the trace-event spec.
+func (t *ChromeTracer) emit(name string, lane, startNs, durNs int64) {
+	nameJSON, err := json.Marshal(name)
+	if err != nil {
+		nameJSON = []byte(`"span"`)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	sep := ","
+	if t.events == 0 {
+		sep = ""
+	}
+	_, t.err = fmt.Fprintf(t.w, "%s\n{\"name\":%s,\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}",
+		sep, nameJSON, lane, float64(startNs)/1e3, float64(durNs)/1e3)
+	if t.err == nil {
+		t.events++
+	}
+}
+
+// Close finalizes the JSON array and returns the first write error
+// encountered, if any. Spans ended after Close are dropped.
+func (t *ChromeTracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	_, t.err = io.WriteString(t.w, "\n]\n")
+	if t.err != nil {
+		return t.err
+	}
+	t.err = fmt.Errorf("metrics: trace already closed")
+	return nil
+}
+
+// Events returns the number of span events written so far.
+func (t *ChromeTracer) Events() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// traceEvent mirrors the Chrome trace-event fields we emit.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+}
+
+func TestChromeTracerEmitsValidTraceJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewChromeTracer(&buf)
+	end := tr.StartSpan("compile")
+	end()
+	inner := tr.StartSpan(`scan "chr1"`) // name needing JSON escaping
+	inner()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	var events []traceEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].Name != "compile" || events[0].Ph != "X" {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if events[1].Name != `scan "chr1"` {
+		t.Errorf("escaped name round-trip failed: %+v", events[1])
+	}
+	for _, ev := range events {
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Errorf("negative timestamp: %+v", ev)
+		}
+	}
+}
+
+func TestChromeTracerConcurrentSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewChromeTracer(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				end := tr.StartSpan("chunk")
+				end()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Events(); got != 400 {
+		t.Errorf("Events() = %d, want 400", got)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	var events []traceEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("concurrent trace output invalid: %v", err)
+	}
+	if len(events) != 400 {
+		t.Errorf("parsed %d events, want 400", len(events))
+	}
+}
+
+func TestChromeTracerDoubleEndAndLateSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewChromeTracer(&buf)
+	end := tr.StartSpan("once")
+	end()
+	end() // double end must not duplicate the event
+	late := tr.StartSpan("late")
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	late() // ended after Close: dropped, not corrupting the file
+	if err := tr.Close(); err == nil {
+		t.Error("second Close should report already-closed")
+	}
+	var events []traceEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace invalid after double-end/late span: %v\n%s", err, buf.String())
+	}
+	if len(events) != 1 || events[0].Name != "once" {
+		t.Errorf("events = %+v, want exactly the 'once' span", events)
+	}
+}
+
+func TestRecorderTracerIntegration(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewChromeTracer(&buf)
+	r := NewRecorder()
+	r.SetTracer(tr)
+	r.StartPhase(PhaseCompile)()
+	r.StartSpan(PhasePrefilter, "prefilter chr1")()
+	r.TraceSpan("custom")()
+	r.StartChunk("chunk 0")()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	var events []traceEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range events {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"compile", "prefilter chr1", "custom", "chunk 0"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (got %v)", want, names)
+		}
+	}
+}

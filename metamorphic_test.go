@@ -1,0 +1,211 @@
+package crisprscan
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/dna"
+	"github.com/cap-repro/crisprscan/internal/genome"
+)
+
+// The metamorphic battery checks invariances of the search under input
+// transformations whose effect on the output is known exactly — no
+// oracle needed beyond the transformation algebra itself. Each property
+// runs on a measured engine and a modeled engine so both execution
+// families are covered.
+
+var metamorphicEngines = []Engine{EngineHyperscan, EngineCasOffinder, EngineAP}
+
+func metamorphicFixture(t *testing.T) (*Genome, []Guide) {
+	t.Helper()
+	g := SynthesizeGenome(SynthConfig{Seed: 501, ChromLen: 15000, NumChroms: 3})
+	guides, err := SampleGuides(g, 3, 20, "NGG", 502)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, guides
+}
+
+// siteTuples renders sites as order-independent comparable strings,
+// optionally dropping the guide index (for duplication tests).
+func siteTuples(sites []Site) []string {
+	out := make([]string, len(sites))
+	for i, s := range sites {
+		out[i] = fmt.Sprintf("%d/%s:%d%c m=%d %s %s", s.Guide, s.Chrom, s.Pos, s.Strand, s.Mismatches, s.SiteSeq, s.Alignment)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func diffTuples(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d sites, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: tuple %d differs:\n  want %s\n  got  %s", label, i, want[i], got[i])
+		}
+	}
+}
+
+// TestMetamorphicRevCompGenome: reverse-complementing every chromosome
+// maps each site (pos, strand) to (chromLen - pos - siteLen, opposite
+// strand) and preserves everything else — the guide-oriented SiteSeq,
+// the alignment, the mismatch count. Any strand-handling or boundary
+// asymmetry in an engine breaks this exactly.
+func TestMetamorphicRevCompGenome(t *testing.T) {
+	g, guides := metamorphicFixture(t)
+
+	rc := &Genome{}
+	for _, c := range g.Chroms {
+		seq := c.Seq.ReverseComplement()
+		rc.Chroms = append(rc.Chroms, genome.Chromosome{Name: c.Name, Seq: seq, Packed: dna.Pack(seq)})
+	}
+	chromLen := map[string]int{}
+	for _, c := range g.Chroms {
+		chromLen[c.Name] = len(c.Seq)
+	}
+
+	for _, eng := range metamorphicEngines {
+		t.Run(string(eng), func(t *testing.T) {
+			p := Params{MaxMismatches: 3, Engine: eng}
+			orig, err := Search(g, guides, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flipped, err := Search(rc, guides, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(orig.Sites) == 0 {
+				t.Fatal("degenerate fixture: no sites")
+			}
+			mapped := make([]Site, len(flipped.Sites))
+			for i, s := range flipped.Sites {
+				m := s
+				m.Pos = chromLen[s.Chrom] - s.Pos - len(s.SiteSeq)
+				if s.Strand == '+' {
+					m.Strand = '-'
+				} else {
+					m.Strand = '+'
+				}
+				mapped[i] = m
+			}
+			diffTuples(t, "revcomp", siteTuples(orig.Sites), siteTuples(mapped))
+		})
+	}
+}
+
+// TestMetamorphicChromPermutation: permuting chromosome order changes
+// nothing — results are reported in sorted order and chromosomes are
+// independent scans.
+func TestMetamorphicChromPermutation(t *testing.T) {
+	g, guides := metamorphicFixture(t)
+	perm := &Genome{Chroms: make([]genome.Chromosome, len(g.Chroms))}
+	for i := range g.Chroms {
+		perm.Chroms[len(g.Chroms)-1-i] = g.Chroms[i]
+	}
+
+	for _, eng := range metamorphicEngines {
+		t.Run(string(eng), func(t *testing.T) {
+			p := Params{MaxMismatches: 3, Engine: eng}
+			a, err := Search(g, guides, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Search(perm, guides, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffTuples(t, "chrom permutation", siteTuples(a.Sites), siteTuples(b.Sites))
+		})
+	}
+}
+
+// TestMetamorphicGuideDuplication: appending a duplicate of guide 0
+// never changes guide 0's site list, and the duplicate's own list is
+// identical modulo the guide index.
+func TestMetamorphicGuideDuplication(t *testing.T) {
+	g, guides := metamorphicFixture(t)
+	dup := append(append([]Guide{}, guides...), Guide{Name: "dup0", Spacer: guides[0].Spacer})
+	dupIdx := len(guides)
+
+	byGuide := func(sites []Site, idx int) []Site {
+		var out []Site
+		for _, s := range sites {
+			if s.Guide == idx {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	reindex := func(sites []Site, to int) []Site {
+		out := append([]Site{}, sites...)
+		for i := range out {
+			out[i].Guide = to
+		}
+		return out
+	}
+
+	for _, eng := range metamorphicEngines {
+		t.Run(string(eng), func(t *testing.T) {
+			p := Params{MaxMismatches: 3, Engine: eng}
+			base, err := Search(g, guides, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			withDup, err := Search(g, dup, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := byGuide(base.Sites, 0)
+			if len(want) == 0 {
+				t.Fatal("degenerate fixture: guide 0 has no sites")
+			}
+			diffTuples(t, "guide 0 unchanged", siteTuples(want), siteTuples(byGuide(withDup.Sites, 0)))
+			diffTuples(t, "duplicate mirrors guide 0",
+				siteTuples(reindex(want, dupIdx)), siteTuples(byGuide(withDup.Sites, dupIdx)))
+			// The other guides are untouched too.
+			for gi := 1; gi < len(guides); gi++ {
+				diffTuples(t, fmt.Sprintf("guide %d unchanged", gi),
+					siteTuples(byGuide(base.Sites, gi)), siteTuples(byGuide(withDup.Sites, gi)))
+			}
+		})
+	}
+}
+
+// TestMetamorphicAltPAMIdentities: a redundant AltPAMs entry equal to
+// the primary PAM is a no-op, and a genuine alternative PAM makes the
+// result exactly the union of the two single-PAM searches (NGG and NAG
+// windows are disjoint, so the union has no overlap to resolve).
+func TestMetamorphicAltPAMIdentities(t *testing.T) {
+	g, guides := metamorphicFixture(t)
+
+	for _, eng := range metamorphicEngines {
+		t.Run(string(eng), func(t *testing.T) {
+			plain, err := Search(g, guides, Params{MaxMismatches: 3, PAM: "NGG", Engine: eng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			redundant, err := Search(g, guides, Params{MaxMismatches: 3, PAM: "NGG", AltPAMs: []string{"NGG"}, Engine: eng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffTuples(t, "AltPAMs:[NGG] == PAM:NGG", siteTuples(plain.Sites), siteTuples(redundant.Sites))
+
+			nag, err := Search(g, guides, Params{MaxMismatches: 3, PAM: "NAG", Engine: eng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			both, err := Search(g, guides, Params{MaxMismatches: 3, PAM: "NGG", AltPAMs: []string{"NAG"}, Engine: eng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			union := append(siteTuples(plain.Sites), siteTuples(nag.Sites)...)
+			sort.Strings(union)
+			diffTuples(t, "AltPAMs:[NAG] == union", union, siteTuples(both.Sites))
+		})
+	}
+}
