@@ -1,33 +1,41 @@
 // Command crisprlint is the repository's invariant checker: a
-// multichecker of six custom analyzers (enginereg, dnaalphabet,
-// statsdiscipline, errwrap, clockguard, ctxflow) that enforce the
-// contracts the code base otherwise keeps only by convention —
-// engine-registry parity behind the paper's "identical site set"
-// claim, the internal/dna alphabet boundary, populated execution
+// multichecker of nine custom analyzers that enforce the contracts the
+// code base otherwise keeps only by convention. Six are syntactic
+// (enginereg, dnaalphabet, statsdiscipline, errwrap, clockguard,
+// ctxflow): engine-registry parity behind the paper's "identical site
+// set" claim, the internal/dna alphabet boundary, populated execution
 // stats, the error-prefix/%w convention, deterministic
 // modeled-platform timing, and context propagation through the scan
-// pipeline.
+// pipeline. Three are type-checked (hotpath, atomicfield, lockorder):
+// allocation-freedom in //crisprlint:hotpath-annotated scan kernels,
+// no torn sync/atomic counters, and documented `guarded by <mu>` mutex
+// discipline.
 //
 // Standalone usage (whole-module analysis, including the cross-package
-// public-API check):
+// checks):
 //
 //	go run ./cmd/crisprlint ./...
 //
 // Exit status: 0 clean, 3 findings, 1 operational error (mirroring
-// x/tools multicheckers).
+// x/tools multicheckers). `-json` switches the standalone output to a
+// JSON array of findings for CI annotation.
 //
-// Vet-tool usage (per-package, integrates with go vet's build cache):
+// Vet-tool usage (per-package, integrates with go vet's build cache;
+// the typed analyzers resolve imports from the go command's export
+// data):
 //
 //	go build -o /tmp/crisprlint ./cmd/crisprlint
 //	go vet -vettool=/tmp/crisprlint ./...
 //
 // `crisprlint help` lists the analyzers with their documentation. A
 // finding can be suppressed with a trailing or preceding comment
-// `//crisprlint:allow <analyzer> reason`.
+// `//crisprlint:allow <analyzer> reason`; files with a standard
+// `// Code generated ... DO NOT EDIT.` header are never flagged.
 package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -48,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	versionFlag := fs.String("V", "", "print version and exit (vet protocol)")
 	flagsFlag := fs.Bool("flags", false, "print analyzer flags as JSON and exit (vet protocol)")
+	jsonFlag := fs.Bool("json", false, "standalone mode: emit findings as a JSON array on stdout")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -80,10 +89,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		printHelp(stdout)
 		return 0
 	}
-	return runStandalone(rest, stdout, stderr)
+	return runStandalone(rest, *jsonFlag, stdout, stderr)
 }
 
-func runStandalone(patterns []string, stdout, stderr io.Writer) int {
+// jsonFinding is the `-json` wire shape: one object per diagnostic,
+// positions split out so CI annotators need no parsing.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func runStandalone(patterns []string, asJSON bool, stdout, stderr io.Writer) int {
 	fset := token.NewFileSet()
 	prog, err := analysis.Load(fset, ".", patterns...)
 	if err != nil {
@@ -95,8 +114,22 @@ func runStandalone(patterns []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	for _, d := range diags {
-		fmt.Fprintf(stdout, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	if asJSON {
+		out := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			p := fset.Position(d.Pos)
+			out = append(out, jsonFinding{File: p.Filename, Line: p.Line, Column: p.Column, Analyzer: d.Analyzer, Message: d.Message})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "crisprlint: %d finding(s)\n", len(diags))

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/analysis"
+	"github.com/cap-repro/crisprscan/internal/analysis/analysistest"
+)
+
+// TestAllowDirective exercises //crisprlint:allow suppression through
+// the hotpath analyzer: trailing and line-above placement, analyzer
+// lists, non-matching analyzer names, and the invalid bare form. The
+// fixture's unsuppressed lines carry want markers; everything else must
+// stay silent, which is exactly what the harness asserts.
+func TestAllowDirective(t *testing.T) {
+	analysistest.Run(t, analysis.HotPath,
+		analysistest.Pkg{Dir: "allow", Path: analysistest.ModulePath + "/internal/hscan"})
+}

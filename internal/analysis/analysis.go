@@ -1,16 +1,21 @@
 // Package analysis is a self-contained static-analysis framework for
 // the crisprscan repository, modeled on golang.org/x/tools/go/analysis
 // but built only on the standard library so the repo stays
-// dependency-free. It hosts the six crisprlint analyzers that turn the
+// dependency-free. It hosts the crisprlint analyzers that turn the
 // repo's cross-cutting invariants — engine-registry parity, DNA
 // alphabet hygiene, stats discipline, error-wrapping convention,
 // deterministic timing models, and context propagation through the
 // scan pipeline — into machine-checked rules.
 //
-// The framework is deliberately small: analyzers are purely syntactic
-// (AST + token positions, no type checking), which keeps the driver
-// usable both as a standalone multichecker (cmd/crisprlint) and as a
-// `go vet -vettool` backend, with no network or export-data
+// The framework has two tiers. The original six analyzers are purely
+// syntactic (AST + token positions). The typed tier (typecheck.go)
+// adds best-effort go/types information — via the stdlib source
+// importer standalone, or the go command's export data under the vet
+// protocol — for the three hot-path analyzers: hotpath (allocation
+// freedom in annotated scan kernels), atomicfield (no torn counters),
+// and lockorder (documented mutex discipline). Either way the driver
+// works both as a standalone multichecker (cmd/crisprlint) and as a
+// `go vet -vettool` backend, with no network or third-party
 // dependencies.
 //
 // Suppression: a diagnostic can be silenced with a directive comment
@@ -26,9 +31,11 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer describes one invariant checker.
@@ -54,6 +61,11 @@ type Package struct {
 	Files []*ast.File
 	// TestFiles holds the _test.go files (in-package and external).
 	TestFiles []*ast.File
+	// Generated marks filenames (as recorded in the FileSet) carrying a
+	// `// Code generated ... DO NOT EDIT.` header. Generated files stay
+	// in Files so type checking sees the whole package, but diagnostics
+	// landing in them are dropped by the driver.
+	Generated map[string]bool
 }
 
 // AllFiles returns non-test files followed by test files.
@@ -74,6 +86,13 @@ type Program struct {
 	ModulePath string
 	// Packages maps import path to syntax.
 	Packages map[string]*Package
+	// VetImporter, when set by the vet-protocol driver, resolves imports
+	// from the export data the go command supplies; when nil the typed
+	// tier falls back to the stdlib source importer.
+	VetImporter types.Importer
+
+	typesOnce sync.Once
+	types     *typesState
 }
 
 // Pass carries one (analyzer, package) unit of work.
@@ -179,6 +198,9 @@ func RunAnalyzers(fset *token.FileSet, prog *Program, analyzers []*Analyzer) ([]
 				if allowed[fmt.Sprintf("%s:%d:%s", p.Filename, p.Line, d.Analyzer)] {
 					continue
 				}
+				if pkg.Generated[p.Filename] {
+					continue
+				}
 				all = append(all, d)
 			}
 		}
@@ -196,9 +218,14 @@ func RunAnalyzers(fset *token.FileSet, prog *Program, analyzers []*Analyzer) ([]
 	return all, nil
 }
 
-// All returns the six crisprlint analyzers in stable order.
+// All returns the crisprlint analyzers in stable order: the six
+// syntactic checkers from the first tier, then the three type-checked
+// ones.
 func All() []*Analyzer {
-	return []*Analyzer{EngineReg, DNAAlphabet, StatsDiscipline, ErrWrap, ClockGuard, CtxFlow}
+	return []*Analyzer{
+		EngineReg, DNAAlphabet, StatsDiscipline, ErrWrap, ClockGuard, CtxFlow,
+		HotPath, AtomicField, LockOrder,
+	}
 }
 
 // inspect walks every node of the files, calling fn; fn returning

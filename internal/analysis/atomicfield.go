@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField catches torn counters: a struct field that is ever
+// touched through sync/atomic (atomic.AddInt64(&s.n, 1) and friends)
+// must be accessed that way everywhere — a single plain read or write
+// elsewhere is a data race that -race only catches when the schedule
+// cooperates, and a torn metrics counter silently corrupts the
+// throughput numbers the paper's claims rest on.
+//
+// In the standalone multichecker the index of atomically-touched fields
+// is built across the whole module, so a field atomically updated in
+// internal/metrics and read plainly in internal/arch is caught; under
+// the per-package vet protocol the check degrades to package-local
+// pairs, like enginereg's cross-package half.
+//
+// Fields of the typed atomics (atomic.Int64 and friends) cannot be read
+// plainly, but they can be copied wholesale, which tears just the same;
+// assignments copying an atomic-typed field value are flagged too (go
+// vet's copylocks overlaps here, but only where a noCopy sentinel
+// exists).
+//
+// Test files are exempt: tests read counters after the goroutines they
+// spawned are joined, and the suppression noise would drown the signal.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "struct fields touched via sync/atomic must never be read or written " +
+		"plainly elsewhere (torn counters); atomic-typed fields must not be copied",
+	Run: runAtomicField,
+}
+
+// atomicUse records where a field was first atomically accessed, for
+// the diagnostic message.
+type atomicUse struct {
+	fn  string // the sync/atomic function name
+	pos string // fset position string of that use
+}
+
+// atomicIndex builds (once per Program) the module-wide map from field
+// identity (objKey) to its first sync/atomic use.
+func (prog *Program) atomicIndex(fset *token.FileSet) map[string]atomicUse {
+	st := prog.typeState()
+	st.atomicOnce.Do(func() {
+		st.atomicIdx = make(map[string]atomicUse)
+		for _, pkg := range prog.Packages {
+			ti := prog.TypeCheck(fset, pkg)
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fnName, field := atomicCallField(ti, call)
+					if field == nil {
+						return true
+					}
+					key := objKey(fset, field)
+					if _, seen := st.atomicIdx[key]; !seen {
+						st.atomicIdx[key] = atomicUse{
+							fn:  fnName,
+							pos: fset.Position(call.Pos()).String(),
+						}
+					}
+					return true
+				})
+			}
+		}
+	})
+	return st.atomicIdx
+}
+
+// atomicCallField recognizes atomic.Fn(&x.field, ...) calls and returns
+// the sync/atomic function name and the field object, or nil when the
+// call is not of that shape.
+func atomicCallField(ti *TypeInfo, call *ast.CallExpr) (string, *types.Var) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", nil
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", nil
+	}
+	pn, ok := ti.Info.Uses[pkgID].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return "", nil
+	}
+	amp, ok := call.Args[0].(*ast.UnaryExpr)
+	if !ok || amp.Op != token.AND {
+		return "", nil
+	}
+	fieldSel, ok := amp.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	return sel.Sel.Name, fieldVarOf(ti.Info, fieldSel)
+}
+
+// isAtomicNamedType reports whether t is one of sync/atomic's typed
+// values (atomic.Int64, atomic.Value, ...).
+func isAtomicNamedType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+func runAtomicField(pass *Pass) error {
+	ti := pass.Types()
+	idx := pass.Program.atomicIndex(pass.Fset)
+
+	// Selector expressions that ARE the sanctioned atomic access in the
+	// current package (the &x.f argument of an atomic call) are exempt.
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, field := atomicCallField(ti, call); field != nil {
+				amp := call.Args[0].(*ast.UnaryExpr)
+				sanctioned[amp.X.(*ast.SelectorExpr)] = true
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sanctioned[n] {
+					return true
+				}
+				field := fieldVarOf(ti.Info, n)
+				if field == nil {
+					return true
+				}
+				if use, ok := idx[objKey(pass.Fset, field)]; ok {
+					pass.Reportf(n.Pos(), "field %s is accessed atomically (%s at %s) but read or written plainly here: torn access",
+						field.Name(), use.fn, use.pos)
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					reportAtomicCopy(pass, ti, rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					reportAtomicCopy(pass, ti, v)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportAtomicCopy flags `v := x.counter` where counter has one of the
+// sync/atomic struct types: the copy tears the value and detaches it
+// from future updates.
+func reportAtomicCopy(pass *Pass, ti *TypeInfo, rhs ast.Expr) {
+	sel, ok := rhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	field := fieldVarOf(ti.Info, sel)
+	if field == nil || !isAtomicNamedType(field.Type()) {
+		return
+	}
+	pass.Reportf(rhs.Pos(), "copying atomic-typed field %s (%s) tears the value; operate through its methods in place",
+		field.Name(), field.Type())
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/analysis"
+	"github.com/cap-repro/crisprscan/internal/analysis/analysistest"
+)
+
+func TestAtomicFieldCatchesTornAccess(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicField,
+		analysistest.Pkg{Dir: "atomicfield", Path: analysistest.ModulePath + "/internal/metrics"})
+}

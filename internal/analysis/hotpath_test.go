@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/analysis"
+	"github.com/cap-repro/crisprscan/internal/analysis/analysistest"
+)
+
+func TestHotPathFlagsAnnotatedKernels(t *testing.T) {
+	analysistest.Run(t, analysis.HotPath,
+		analysistest.Pkg{Dir: "hotpath", Path: analysistest.ModulePath + "/internal/hscan"})
+}

@@ -54,21 +54,29 @@ func Load(fset *token.FileSet, dir string, patterns ...string) (*Program, error)
 		if lp.Module != nil && prog.ModulePath == "" {
 			prog.ModulePath = lp.Module.Path
 		}
-		pkg := &Package{Path: lp.ImportPath, Name: lp.Name, Dir: lp.Dir}
+		pkg := &Package{Path: lp.ImportPath, Name: lp.Name, Dir: lp.Dir, Generated: make(map[string]bool)}
 		for _, group := range [][]string{lp.GoFiles, lp.CgoFiles} {
 			for _, name := range group {
-				f, err := parseOne(fset, filepath.Join(lp.Dir, name))
+				path := filepath.Join(lp.Dir, name)
+				f, err := parseOne(fset, path)
 				if err != nil {
 					return nil, err
+				}
+				if ast.IsGenerated(f) {
+					pkg.Generated[path] = true
 				}
 				pkg.Files = append(pkg.Files, f)
 			}
 		}
 		for _, group := range [][]string{lp.TestGoFiles, lp.XTestGoFiles} {
 			for _, name := range group {
-				f, err := parseOne(fset, filepath.Join(lp.Dir, name))
+				path := filepath.Join(lp.Dir, name)
+				f, err := parseOne(fset, path)
 				if err != nil {
 					return nil, err
+				}
+				if ast.IsGenerated(f) {
+					pkg.Generated[path] = true
 				}
 				pkg.TestFiles = append(pkg.TestFiles, f)
 			}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/analysis"
+	"github.com/cap-repro/crisprscan/internal/analysis/analysistest"
+)
+
+func TestLockOrderEnforcesGuardedFields(t *testing.T) {
+	analysistest.Run(t, analysis.LockOrder,
+		analysistest.Pkg{Dir: "lockorder", Path: analysistest.ModulePath + "/internal/core"})
+}

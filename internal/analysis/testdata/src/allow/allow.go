@@ -1,0 +1,39 @@
+// Package allow exercises the //crisprlint:allow suppression
+// directive: trailing and line-above placement, multi-analyzer lists,
+// and the invalid bare form (no analyzer name) which suppresses
+// nothing.
+package allow
+
+//crisprlint:hotpath
+func trailing(n int) []int {
+	s := make([]int, n) //crisprlint:allow hotpath scratch sized once per call
+	return s
+}
+
+//crisprlint:hotpath
+func lineAbove(n int) []int {
+	//crisprlint:allow hotpath scratch sized once per call
+	s := make([]int, n)
+	return s
+}
+
+//crisprlint:hotpath
+func multiList(n int) []int {
+	//crisprlint:allow atomicfield,hotpath one directive may cover several analyzers
+	s := make([]int, n)
+	return s
+}
+
+//crisprlint:hotpath
+func wrongAnalyzer(n int) []int {
+	//crisprlint:allow lockorder naming a different analyzer does not cover hotpath
+	s := make([]int, n) // want `make allocates on every invocation`
+	return s
+}
+
+//crisprlint:hotpath
+func bareDirective(n int) []int {
+	//crisprlint:allow
+	s := make([]int, n) // want `make allocates on every invocation`
+	return s
+}

@@ -1,0 +1,51 @@
+// Package atomicfield exercises the atomicfield analyzer: fields
+// touched via sync/atomic anywhere must never be accessed plainly, and
+// typed-atomic fields must not be copied.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	cold  int64
+	typed atomic.Int64
+}
+
+// bump is the sanctioned atomic path; its own &c.hits argument is not a
+// plain access.
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// readTorn reads the atomically-updated field without sync/atomic.
+func readTorn(c *counters) int64 {
+	return c.hits // want `field hits is accessed atomically \(AddInt64 at .*\) but read or written plainly here: torn access`
+}
+
+// writeTorn writes it plainly.
+func writeTorn(c *counters) {
+	c.hits = 0 // want `field hits is accessed atomically .* torn access`
+}
+
+// readSanctioned loads through sync/atomic: fine.
+func readSanctioned(c *counters) int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// coldField is never touched atomically, so plain access is fine.
+func coldField(c *counters) int64 {
+	c.cold++
+	return c.cold
+}
+
+// copyTyped copies an atomic.Int64 by value, tearing it.
+func copyTyped(c *counters) int64 {
+	v := c.typed // want `copying atomic-typed field typed \(sync/atomic\.Int64\) tears the value`
+	return v.Load()
+}
+
+// useTyped operates through the methods in place: fine.
+func useTyped(c *counters) int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}

@@ -1,0 +1,90 @@
+// Package hotpath exercises the hotpath analyzer: allocating constructs
+// inside //crisprlint:hotpath functions are flagged, with per-iteration
+// and per-invocation messages distinguished; unannotated functions are
+// never flagged.
+package hotpath
+
+import "fmt"
+
+type report struct {
+	code int32
+	end  int
+}
+
+type sink interface{ consume(r report) }
+
+func eat(v interface{}) { _ = v }
+
+// kernel is the annotated scan kernel every construct lands in.
+//
+//crisprlint:hotpath
+func kernel(seq []byte, out *[]report, s sink, n int) {
+	m := make([]int64, n) // want `make allocates on every invocation`
+	_ = m
+	p := new(report) // want `new allocates on every invocation`
+	_ = p
+	lut := map[byte]int{'A': 0} // want `map/slice composite literal allocates on every invocation`
+	_ = lut
+	codes := []int{1, 2, 3} // want `map/slice composite literal allocates on every invocation`
+	_ = codes
+	rp := &report{} // want `pointer composite literal allocates on every invocation`
+	_ = rp
+	defer fmt.Println("done") // want `defer allocates a frame record on every invocation`
+	for i := range seq {
+		label := "pos" + string(rune(i)) // want `string concatenation allocates on every loop iteration`
+		_ = label
+		f := func() int { return i } // want `closure literal allocates on every loop iteration`
+		_ = f
+		go eat(i)     // want `goroutine launch allocates a stack on every loop iteration` // want `passing int as interface\{\} boxes the value on every loop iteration`
+		eat(i)        // want `passing int as interface\{\} boxes the value on every loop iteration`
+		v := any(i)   // want `conversion to .* boxes its operand on every loop iteration`
+		_ = v
+		*out = append(*out, report{end: i}) // want `append may grow a non-preallocated slice on every loop iteration`
+	}
+}
+
+// preallocated shows the sanctioned shapes: append into a slice made
+// with explicit capacity or nonzero length, or into an explicit
+// buf[:0] reuse, is not a growth hazard (the make itself is still
+// flagged as a per-invocation cost to hoist).
+//
+//crisprlint:hotpath
+func preallocated(seq []byte) int {
+	buf := make([]int, 0, len(seq)) // want `make allocates on every invocation`
+	sized := make([]int, 8)         // want `make allocates on every invocation`
+	for i := range seq {
+		buf = append(buf, i)
+		sized = append(sized, i)
+		buf = append(buf[:0], i)
+	}
+	return len(buf) + len(sized)
+}
+
+// pointerShaped values are stored directly in the interface word, so no
+// boxing is reported; forwarding a variadic slice likewise.
+//
+//crisprlint:hotpath
+func pointerShaped(r *report, args []interface{}) {
+	eat(r)
+	_ = fmt.Sprint(args...)
+}
+
+// closures marked on the line above are hot too.
+func marked(seq []byte, out *[]report) func() {
+	//crisprlint:hotpath
+	return func() {
+		for range seq {
+			_ = new(report) // want `new allocates on every loop iteration`
+		}
+	}
+}
+
+// cold is unannotated: the same constructs produce nothing.
+func cold(seq []byte) []report {
+	var out []report
+	for i := range seq {
+		out = append(out, report{end: i})
+	}
+	eat(len(out))
+	return out
+}

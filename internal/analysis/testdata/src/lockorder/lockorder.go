@@ -1,0 +1,95 @@
+// Package lockorder exercises the lockorder analyzer: fields documented
+// `// guarded by <mu>` must be accessed with that mutex held on all
+// control-flow paths; deferred unlocks keep the mutex held, *Locked
+// functions and closures are exempt.
+package lockorder
+
+import "sync"
+
+type reg struct {
+	mu sync.RWMutex
+	// guarded by mu
+	sites int
+	total int // guarded by mu
+	name  string
+}
+
+// clean holds the lock across the access.
+func clean(r *reg) {
+	r.mu.Lock()
+	r.sites++
+	r.mu.Unlock()
+}
+
+// deferred releases via defer: the mutex stays held for the analysis.
+func deferred(r *reg) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sites + r.total
+}
+
+// readLock counts too.
+func readLock(r *reg) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.sites
+}
+
+// torn never takes the lock.
+func torn(r *reg) int {
+	return r.sites // want `field sites is documented .guarded by mu. but accessed without r\.mu held on all paths in torn`
+}
+
+// oneBranch only locks on one path, so the access is not protected on
+// all paths.
+func oneBranch(r *reg, c bool) {
+	if c {
+		r.mu.Lock()
+	}
+	r.total++ // want `field total is documented .guarded by mu. but accessed without r\.mu held on all paths in oneBranch`
+	if c {
+		r.mu.Unlock()
+	}
+}
+
+// releasedEarly unlocks before the access.
+func releasedEarly(r *reg) int {
+	r.mu.Lock()
+	r.mu.Unlock()
+	return r.sites // want `field sites is documented .guarded by mu. but accessed without r\.mu held on all paths in releasedEarly`
+}
+
+// crossed holds the wrong receiver's mutex: a.mu does not guard
+// b.sites.
+func crossed(a, b *reg) {
+	a.mu.Lock()
+	b.sites++ // want `field sites is documented .guarded by mu. but accessed without b\.mu held on all paths in crossed`
+	a.mu.Unlock()
+}
+
+// perIteration locks and unlocks inside the loop body: held at the
+// access on every path through it.
+func perIteration(r *reg, n int) {
+	for i := 0; i < n; i++ {
+		r.mu.Lock()
+		r.sites++
+		r.mu.Unlock()
+	}
+}
+
+// snapshotLocked follows the caller-holds-the-lock naming convention
+// and is exempt.
+func snapshotLocked(r *reg) int {
+	return r.sites
+}
+
+// closure bodies have their call sites' locking context, which a
+// per-function analysis cannot see: exempt.
+func closure(r *reg) func() int {
+	return func() int { return r.sites }
+}
+
+// unguarded fields are never constrained.
+func unguarded(r *reg) string {
+	return r.name
+}

@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"go/token"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/analysis"
+)
+
+// TestTypeCheckRoundTrip loads a real module package through the
+// standalone loader and type-checks it with the source importer: the
+// check must be clean, and repeated calls must return the memoized
+// result rather than re-checking.
+func TestTypeCheckRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("source-importer type check is slow")
+	}
+	fset := token.NewFileSet()
+	prog, err := analysis.Load(fset, ".", "../dna")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	const path = "github.com/cap-repro/crisprscan/internal/dna"
+	pkg, ok := prog.Packages[path]
+	if !ok {
+		t.Fatalf("Load did not resolve %s; got %d packages", path, len(prog.Packages))
+	}
+	ti := prog.TypeCheck(fset, pkg)
+	if ti.Err != nil {
+		t.Fatalf("TypeCheck: %v", ti.Err)
+	}
+	if ti.Pkg == nil || ti.Pkg.Path() != path {
+		t.Fatalf("TypeCheck produced package %v, want %s", ti.Pkg, path)
+	}
+	if ti.Info == nil || len(ti.Info.Defs) == 0 {
+		t.Fatal("TypeCheck produced no resolved objects")
+	}
+	if again := prog.TypeCheck(fset, pkg); again != ti {
+		t.Fatal("TypeCheck did not memoize: second call returned a new TypeInfo")
+	}
+}

@@ -3,7 +3,10 @@ package analysis
 import (
 	"encoding/json"
 	"fmt"
+	"go/ast"
+	"go/importer"
 	"go/token"
+	"go/types"
 	"io"
 	"os"
 	"path/filepath"
@@ -31,14 +34,45 @@ import (
 // the driver consumes. Unknown fields are ignored.
 type VetConfig struct {
 	ID                        string
+	Compiler                  string
 	Dir                       string
 	ImportPath                string
 	GoFiles                   []string
 	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
 	ModulePath                string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
+}
+
+// exportDataImporter resolves imports from the export data the go
+// command enumerated in the vet config: ImportMap canonicalizes the
+// import path, PackageFile locates its compiled export file, and the
+// stdlib gc importer decodes it. This is exactly how x/tools'
+// unitchecker typechecks, minus fact propagation.
+func exportDataImporter(fset *token.FileSet, cfg *VetConfig) types.Importer {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "source"
+	}
+	underlying := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no package file for %q in vet config", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return underlying.Import(importPath)
+	})
 }
 
 // RunVetUnit executes the analyzers for one vet config file and returns
@@ -72,7 +106,7 @@ func RunVetUnit(cfgPath string, w io.Writer) (int, error) {
 	}
 
 	fset := token.NewFileSet()
-	pkg := &Package{Path: importPath, Dir: cfg.Dir}
+	pkg := &Package{Path: importPath, Dir: cfg.Dir, Generated: make(map[string]bool)}
 	for _, name := range cfg.GoFiles {
 		if !filepath.IsAbs(name) {
 			name = filepath.Join(cfg.Dir, name)
@@ -87,6 +121,9 @@ func RunVetUnit(cfgPath string, w io.Writer) (int, error) {
 		if pkg.Name == "" {
 			pkg.Name = f.Name.Name
 		}
+		if ast.IsGenerated(f) {
+			pkg.Generated[name] = true
+		}
 		if strings.HasSuffix(name, "_test.go") {
 			pkg.TestFiles = append(pkg.TestFiles, f)
 		} else {
@@ -96,6 +133,9 @@ func RunVetUnit(cfgPath string, w io.Writer) (int, error) {
 	prog := &Program{
 		ModulePath: cfg.ModulePath,
 		Packages:   map[string]*Package{importPath: pkg},
+	}
+	if len(cfg.PackageFile) > 0 {
+		prog.VetImporter = exportDataImporter(fset, &cfg)
 	}
 	diags, err := RunAnalyzers(fset, prog, All())
 	if err != nil {

@@ -87,7 +87,10 @@ func (s *Sim) NumStates() int { return len(s.n.States) }
 
 // Scan runs the automaton over input and calls emit for every report.
 // Input symbols must be < Alphabet or DeadSymbol. emit receives match
-// end positions in input-index coordinates.
+// end positions in input-index coordinates. The scratch bitsets are
+// preallocated in NewSim, so a scan allocates nothing.
+//
+//crisprlint:hotpath
 func (s *Sim) Scan(input []uint8, emit func(Report)) {
 	for i := range s.active {
 		s.active[i] = 0

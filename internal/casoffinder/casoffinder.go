@@ -181,6 +181,7 @@ func (e *Engine) ScanChromContext(ctx context.Context, c *genome.Chromosome, emi
 		workers = runtime.NumCPU()
 	}
 	chunks, err := arch.ChunkScan(ctx, e.Name()+" "+c.Name, workers, total, arch.DefaultChunk, e.rec,
+		//crisprlint:hotpath
 		func(lo, hi int, out *[]automata.Report) error {
 			if h := e.chunkHook; h != nil {
 				h(lo, hi)
@@ -207,6 +208,8 @@ func (e *Engine) ScanChromContext(ctx context.Context, c *genome.Chromosome, emi
 // match reports it returns the counts of PAM hits (step-1 survivors)
 // and per-guide spacer verifications, accumulated locally so the
 // caller flushes them to the metrics recorder once per chunk.
+//
+//crisprlint:hotpath
 func (e *Engine) scanSpan(c *genome.Chromosome, lo, hi int) (out []automata.Report, hits, verifs int64) {
 	for p := lo; p < hi; p++ {
 		for gi := range e.groups {
@@ -219,6 +222,7 @@ func (e *Engine) scanSpan(c *genome.Chromosome, lo, hi int) (out []automata.Repo
 	return out, hits, verifs
 }
 
+//crisprlint:hotpath
 func (e *Engine) scanGroup(g *group, c *genome.Chromosome, p int, out []automata.Report) ([]automata.Report, int64, int64) {
 	if len(g.guides) == 0 {
 		return out, 0, 0
@@ -242,6 +246,7 @@ func (e *Engine) scanGroup(g *group, c *genome.Chromosome, p int, out []automata
 		diff := (codes ^ cg.word) & cg.laneMask
 		diff = (diff | diff>>1) & 0x5555555555555555
 		if bits.OnesCount64(diff) <= cg.k {
+			//crisprlint:allow hotpath match reports are rare relative to positions; the batch grows amortized
 			out = append(out, automata.Report{Code: cg.code, End: p + e.siteLen - 1})
 		}
 	}

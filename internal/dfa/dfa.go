@@ -149,6 +149,8 @@ func FromNFA(n *automata.NFA, opt BuildOptions) (*DFA, error) {
 
 // Scan runs the DFA over input and emits a report for every code
 // attached to each entered state.
+//
+//crisprlint:hotpath
 func (d *DFA) Scan(input []uint8, emit func(automata.Report)) {
 	cur := d.Start
 	alpha := int32(d.Alphabet)

@@ -104,7 +104,7 @@ type Engine struct {
 	Err error
 
 	mu    sync.Mutex
-	calls int
+	calls int // guarded by mu
 }
 
 // Name implements arch.Engine.

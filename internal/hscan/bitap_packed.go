@@ -73,6 +73,8 @@ func (e *Engine) buildPackedBitap() bool {
 }
 
 // scanBitapPacked is scanBitap with two lanes per word.
+//
+//crisprlint:hotpath
 func (e *Engine) scanBitapPacked(seq dna.Seq, base int, emit func(automata.Report)) {
 	var rows [8]uint64
 	for pi := range e.packed {

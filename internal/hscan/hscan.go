@@ -97,8 +97,11 @@ type Engine struct {
 	dfas []*dfa.DFA
 	lazy *dfa.Lazy
 
-	// Prefilter path state: one group per (PAM, orientation).
+	// Prefilter path state: one group per (PAM, orientation). preNPats
+	// caches each group's pattern count as int64 for the per-chunk
+	// verification accounting (hoisted out of the scan kernel).
 	preGroups []prefilterGroup
+	preNPats  []int64
 	preSite   int
 
 	// Packed bitap state (two patterns per word), built when ModeBitap
@@ -275,14 +278,16 @@ func (e *Engine) scanChromPrefilter(ctx context.Context, c *genome.Chromosome, e
 	if total <= 0 {
 		return nil
 	}
+	// The chunk callback hands its batch straight to scanPrefilter —
+	// matches append into *out with no per-chunk emit closure between
+	// the kernel and the batch.
 	chunks, err := arch.ChunkScan(ctx, e.Name()+" "+c.Name, e.workers(), total, arch.DefaultChunk, e.rec,
+		//crisprlint:hotpath
 		func(lo, hi int, out *[]automata.Report) error {
 			if h := e.chunkHook; h != nil {
 				h(lo, hi)
 			}
-			hits, verifs := e.scanPrefilter(c, lo, hi, func(r automata.Report) {
-				*out = append(*out, r)
-			})
+			hits, verifs := e.scanPrefilter(c, lo, hi, out)
 			e.rec.Add(metrics.CounterCandidateWindows, int64(hi-lo))
 			e.rec.Add(metrics.CounterPrefilterHits, hits)
 			e.rec.Add(metrics.CounterVerifications, verifs)
@@ -339,6 +344,8 @@ func (e *Engine) scanRange(seq dna.Seq, base int, emit func(automata.Report)) er
 // "an alignment of the first i+1 pattern positions ends at the current
 // symbol with at most j mismatches". PAM positions are excluded from the
 // mismatch branch by subsMask, and ambiguous bases clear every row.
+//
+//crisprlint:hotpath
 func (e *Engine) scanBitap(seq dna.Seq, base int, emit func(automata.Report)) {
 	var rows [8]uint64 // k <= 7 fits every realistic budget
 	for pi := range e.pats {
@@ -387,6 +394,7 @@ func (e *Engine) scanParallel(ctx context.Context, chrom string, seq dna.Seq, em
 		chunk = overlap + 1
 	}
 	chunks, err := arch.ChunkScan(ctx, e.Name()+" "+chrom, e.workers(), len(seq), chunk, e.rec,
+		//crisprlint:hotpath
 		func(lo, hi int, out *[]automata.Report) error {
 			if h := e.chunkHook; h != nil {
 				h(lo, hi)
@@ -395,8 +403,13 @@ func (e *Engine) scanParallel(ctx context.Context, chrom string, seq dna.Seq, em
 			if elo < 0 {
 				elo = 0
 			}
+			// scanRange's emit contract is shared by four execution modes,
+			// so the ownership filter stays a closure here: one allocation
+			// per 64K-position chunk, not per position.
+			//crisprlint:allow hotpath one filter closure per chunk; scanRange's emit signature is shared across modes
 			err := e.scanRange(seq[elo:hi], elo, func(r automata.Report) {
 				if r.End >= lo && r.End < hi {
+					//crisprlint:allow hotpath match reports are rare relative to positions; the batch grows amortized
 					*out = append(*out, r)
 				}
 			})

@@ -94,6 +94,14 @@ func (e *Engine) buildPrefilter(specs []PatternSpec) error {
 		}
 		g.pats = append(g.pats, p)
 	}
+	// Hoisted out of scanPrefilter: the instrumented loop needs each
+	// group's pattern count as int64 per chunk, and building that table
+	// per chunk was a measurable per-chunk allocation (caught by the
+	// hotpath analyzer once scanPrefilter was annotated).
+	e.preNPats = make([]int64, len(e.preGroups))
+	for gi := range e.preGroups {
+		e.preNPats[gi] = int64(len(e.preGroups[gi].pats))
+	}
 	return nil
 }
 
@@ -109,29 +117,31 @@ const (
 // scanPrefilter runs the shared-literal pass. The packed representation
 // is required, so this mode consumes the chromosome rather than a bare
 // sequence slice; parallel chunking wraps it with position ownership.
-// It returns the counts of PAM-literal hits and of full anchored
-// verifications performed, accumulated locally so the caller can flush
-// them to the metrics recorder once per chunk. Counting costs a few
-// nanoseconds per position, so the uninstrumented case (no recorder
-// attached — raw engine benchmarks, bench.MeasureEngine) takes a
-// separate zero-accounting loop.
-func (e *Engine) scanPrefilter(c *genome.Chromosome, lo, hi int, emit func(automata.Report)) (hits, verifs int64) {
+// Matches append directly into out — the chunk's result batch — rather
+// than through a per-chunk emit closure (which the hotpath analyzer
+// flagged: one closure allocation per 64K-position chunk). It returns
+// the counts of PAM-literal hits and of full anchored verifications
+// performed, accumulated locally so the caller can flush them to the
+// metrics recorder once per chunk. Counting costs a few nanoseconds
+// per position, so the uninstrumented case (no recorder attached — raw
+// engine benchmarks, bench.MeasureEngine) takes a separate
+// zero-accounting loop.
+//
+//crisprlint:hotpath
+func (e *Engine) scanPrefilter(c *genome.Chromosome, lo, hi int, out *[]automata.Report) (hits, verifs int64) {
 	seq := c.Seq
 	if e.rec == nil {
 		for p := lo; p < hi; p++ {
 			for gi := range e.preGroups {
-				e.preGroups[gi].confirm(c, p, e.preSite, seq, emit)
+				e.preGroups[gi].confirm(c, p, e.preSite, seq, out)
 			}
 		}
 		return 0, 0
 	}
-	npats := make([]int64, len(e.preGroups))
-	for gi := range e.preGroups {
-		npats[gi] = int64(len(e.preGroups[gi].pats))
-	}
+	npats := e.preNPats
 	for p := lo; p < hi; p++ {
 		for gi := range e.preGroups {
-			switch e.preGroups[gi].confirm(c, p, e.preSite, seq, emit) {
+			switch e.preGroups[gi].confirm(c, p, e.preSite, seq, out) {
 			case confirmAmbiguous:
 				hits++
 			case confirmVerified:
@@ -143,9 +153,12 @@ func (e *Engine) scanPrefilter(c *genome.Chromosome, lo, hi int, emit func(autom
 	return hits, verifs
 }
 
-// confirm evaluates one anchor position for one group and reports what
-// happened as a confirm* status.
-func (g *prefilterGroup) confirm(c *genome.Chromosome, p, siteLen int, seq dna.Seq, emit func(automata.Report)) uint8 {
+// confirm evaluates one anchor position for one group, appending any
+// verified matches to out, and reports what happened as a confirm*
+// status.
+//
+//crisprlint:hotpath
+func (g *prefilterGroup) confirm(c *genome.Chromosome, p, siteLen int, seq dna.Seq, out *[]automata.Report) uint8 {
 	if len(g.pats) == 0 {
 		return confirmPAMReject
 	}
@@ -164,7 +177,8 @@ func (g *prefilterGroup) confirm(c *genome.Chromosome, p, siteLen int, seq dna.S
 		diff := (codes ^ pat.word) & pat.lanes
 		diff = (diff | diff>>1) & 0x5555555555555555
 		if bits.OnesCount64(diff) <= pat.k {
-			emit(automata.Report{Code: pat.code, End: p + siteLen - 1})
+			//crisprlint:allow hotpath match reports are rare relative to positions; the batch grows amortized
+			*out = append(*out, automata.Report{Code: pat.code, End: p + siteLen - 1})
 		}
 	}
 	return confirmVerified

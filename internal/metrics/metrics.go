@@ -146,7 +146,7 @@ type Recorder struct {
 	// modeled holds the analytic device-time entries the accelerator
 	// models record (seconds, keyed by model step).
 	mu      sync.Mutex
-	modeled map[string]float64
+	modeled map[string]float64 // guarded by mu
 }
 
 // NewRecorder returns an empty recorder.

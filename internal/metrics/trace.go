@@ -24,9 +24,9 @@ type Tracer interface {
 // the scan to finalize the array.
 type ChromeTracer struct {
 	mu     sync.Mutex
-	w      io.Writer
-	events int
-	err    error
+	w      io.Writer // guarded by mu
+	events int       // guarded by mu
+	err    error     // guarded by mu
 
 	// open approximates the number of concurrently open spans; it
 	// assigns each span a lane ("tid") so overlapping worker chunks
