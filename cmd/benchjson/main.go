@@ -3,16 +3,16 @@
 // trajectory document with throughput, per-phase breakdowns and
 // allocation stats:
 //
-//	benchjson -scale test -o BENCH_3.json
+//	benchjson -scale test -o BENCH_4.json
 //
 // With -compare it additionally joins the fresh run against a baseline
 // report and exits nonzero when any matrix cell regressed past the
 // threshold (default 15% slower):
 //
-//	benchjson -scale test -o BENCH_3.json -compare BENCH_3.json
+//	benchjson -scale test -o BENCH_4.json -compare BENCH_4.json
 //
 // CI runs the test scale on every push and keeps the committed
-// BENCH_3.json as the trajectory point for this growth stage.
+// BENCH_4.json as the trajectory point for this growth stage.
 package main
 
 import (

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net"
+	"net/http"
+	netpprof "net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+
+	"github.com/cap-repro/crisprscan/internal/metrics"
+)
+
+// buildVersion reports the module version and VCS revision baked into
+// the binary (best-effort: "go run" and test binaries carry neither).
+func buildVersion() (version, revision string) {
+	version, revision = "(devel)", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+		}
+	}
+	return
+}
+
+// scanState is one scan registered with the admin endpoint. The
+// exported fields are immutable after begin; rec and prog are
+// concurrent-safe on their own.
+type scanState struct {
+	ID     int64  `json:"id"`
+	Engine string `json:"engine"`
+	K      int    `json:"k"`
+	PAM    string `json:"pam"`
+	Genome string `json:"genome"`
+
+	rec  *metrics.Recorder
+	prog *metrics.Progress
+}
+
+// scanRegistry tracks in-flight scans and folds each one's final
+// metrics snapshot into a process-lifetime aggregator. Removal from
+// the live set and Observe happen under one lock, so a /metrics scrape
+// sees every scan exactly once — live or aggregated, never both or
+// neither.
+type scanRegistry struct {
+	mu        sync.Mutex
+	nextID    int64
+	live      map[int64]*scanState
+	agg       metrics.Aggregator
+	started   int64
+	completed int64
+}
+
+func newScanRegistry() *scanRegistry {
+	return &scanRegistry{live: make(map[int64]*scanState)}
+}
+
+// begin registers a scan and returns its idempotent completion func.
+func (r *scanRegistry) begin(st *scanState) func() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	st.ID = r.nextID
+	r.live[st.ID] = st
+	r.started++
+	done := false
+	return func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if done {
+			return
+		}
+		done = true
+		delete(r.live, st.ID)
+		r.agg.Observe(st.rec.Snapshot())
+		r.completed++
+	}
+}
+
+// collect returns a merged process-wide snapshot plus the live scans,
+// all captured under one lock.
+func (r *scanRegistry) collect() (merged *metrics.Snapshot, scans []*scanState, started, completed int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	liveSnaps := make([]*metrics.Snapshot, 0, len(r.live))
+	for id := int64(1); id <= r.nextID; id++ {
+		st, ok := r.live[id]
+		if !ok {
+			continue
+		}
+		scans = append(scans, st)
+		liveSnaps = append(liveSnaps, st.rec.Snapshot())
+	}
+	return r.agg.MergedWith(liveSnaps...), scans, r.started, r.completed
+}
+
+// adminServer serves the operational endpoints for a running scan:
+// /metrics (Prometheus text 0.0.4), /healthz, /readyz, /debug/scans
+// (JSON progress), and the standard /debug/pprof handlers.
+type adminServer struct {
+	reg *scanRegistry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// newAdminServer binds addr immediately (so a bad -http fails before
+// any work starts) and serves in the background until Close.
+func newAdminServer(addr string, reg *scanRegistry, logger *slog.Logger) (*adminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &adminServer{reg: reg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/readyz", a.handleReadyz)
+	mux.HandleFunc("/debug/scans", a.handleScans)
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	a.srv = &http.Server{Handler: mux}
+	go func() {
+		if serr := a.srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			// The admin endpoint must never take down a search.
+			logger.Error("admin server stopped", "err", serr)
+		}
+	}()
+	return a, nil
+}
+
+// Addr is the bound listen address (resolves ":0" to the real port).
+func (a *adminServer) Addr() string { return a.ln.Addr().String() }
+
+func (a *adminServer) Close() error { return a.srv.Close() }
+
+func (a *adminServer) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	merged, scans, started, completed := a.reg.collect()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	e := metrics.NewPromEncoder(w)
+	e.WriteSnapshot(merged)
+	e.Family("crisprscan_scans_started_total", "Scans begun by this process.", "counter")
+	e.Sample("crisprscan_scans_started_total", nil, float64(started))
+	e.Family("crisprscan_scans_completed_total", "Scans completed by this process.", "counter")
+	e.Sample("crisprscan_scans_completed_total", nil, float64(completed))
+	e.Family("crisprscan_scans_inflight", "Scans currently running.", "gauge")
+	e.Sample("crisprscan_scans_inflight", nil, float64(len(scans)))
+	version, revision := buildVersion()
+	e.Family("crisprscan_build_info", "Build metadata; the value is always 1.", "gauge")
+	e.Sample("crisprscan_build_info", []metrics.Label{
+		{Name: "version", Value: version},
+		{Name: "revision", Value: revision},
+		{Name: "goversion", Value: runtime.Version()},
+	}, 1)
+	for _, st := range scans {
+		e.WriteScanProgress(st.prog.Snapshot(), []metrics.Label{
+			{Name: "scan", Value: strconv.FormatInt(st.ID, 10)},
+			{Name: "engine", Value: st.Engine},
+		})
+	}
+	// Encoder errors here are client disconnects or a programming error
+	// (duplicate family); neither should disturb the scan.
+	_ = e.Err()
+}
+
+func (a *adminServer) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	_, scans, started, completed := a.reg.collect()
+	version, revision := buildVersion()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":          "ok",
+		"version":         version,
+		"revision":        revision,
+		"go":              runtime.Version(),
+		"scans_live":      len(scans),
+		"scans_started":   started,
+		"scans_completed": completed,
+	})
+}
+
+func (a *adminServer) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	_, _, started, _ := a.reg.collect()
+	if started == 0 {
+		http.Error(w, "no scan started yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleScans reports every in-flight scan with its live progress
+// (fraction, throughput, ETA) as JSON.
+func (a *adminServer) handleScans(w http.ResponseWriter, req *http.Request) {
+	type debugScan struct {
+		scanState
+		Progress metrics.ProgressSnapshot `json:"progress"`
+	}
+	_, scans, started, completed := a.reg.collect()
+	out := struct {
+		Scans     []debugScan `json:"scans"`
+		Started   int64       `json:"scans_started"`
+		Completed int64       `json:"scans_completed"`
+	}{Scans: make([]debugScan, 0, len(scans)), Started: started, Completed: completed}
+	for _, st := range scans {
+		out.Scans = append(out.Scans, debugScan{scanState: *st, Progress: st.prog.Snapshot()})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}

@@ -10,10 +10,18 @@
 //	offtarget -genome genome.fa -guides guides.txt -k 2 -bulge 1
 //	offtarget -genome genome.fa -guides guides.txt -engine ap -stats
 //	offtarget -genome hg.fa -guides g.txt -stream -checkpoint scan.ckpt -o sites.tsv
-//	offtarget -genome genome.fa -guides guides.txt -trace scan.json -pprof localhost:6060
+//	offtarget -genome genome.fa -guides guides.txt -trace scan.json -http localhost:6060
+//	offtarget -version
 //
 // The guides file holds one spacer per line, optionally preceded by a
 // name and whitespace; '#' starts a comment.
+//
+// Diagnostics go to stderr as structured logs (-log-format text|json,
+// -log-level debug|info|warn|error). With -http, an admin endpoint
+// serves /metrics (Prometheus text format), /healthz, /readyz,
+// /debug/scans (JSON progress with throughput and ETA), and the
+// standard /debug/pprof profiling handlers; -http-linger keeps it up
+// after the scan finishes so a scraper can collect the final state.
 //
 // Robustness: -timeout bounds the whole search; SIGINT/SIGTERM trigger
 // a graceful shutdown (complete output is flushed, the checkpoint
@@ -30,10 +38,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
-	_ "net/http/pprof" // -pprof serves the standard profiling endpoints
+	"log/slog"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -65,10 +73,46 @@ type config struct {
 	timeout    time.Duration
 	tracePath  string
 	pprofAddr  string
+	httpAddr   string
+	httpLinger time.Duration
+	logFormat  string
+	logLevel   string
+
+	log     *slog.Logger      // defaults to slog.Default()
+	onAdmin func(addr string) // test hook: observes the bound -http address
+	reg     *scanRegistry     // test hook: shared registry; run creates one if nil
+}
+
+func (c *config) logger() *slog.Logger {
+	if c.log != nil {
+		return c.log
+	}
+	return slog.Default()
+}
+
+// newLogger builds the process logger from -log-format / -log-level.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if level == "" {
+		level = "info"
+	}
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
 }
 
 func main() {
 	var cfg config
+	var showVersion bool
 	flag.StringVar(&cfg.genomePath, "genome", "", "reference genome FASTA (required)")
 	flag.StringVar(&cfg.guidesPath, "guides", "", "guide list file (one spacer per line)")
 	flag.StringVar(&cfg.guideSeq, "guide", "", "single guide spacer (alternative to -guides)")
@@ -79,7 +123,7 @@ func main() {
 	flag.StringVar(&cfg.engineName, "engine", string(crisprscan.EngineHyperscan), "execution engine")
 	flag.BoolVar(&cfg.plusOnly, "plus-only", false, "search the plus strand only")
 	flag.IntVar(&cfg.workers, "workers", 1, "data-parallel width for CPU engines")
-	flag.BoolVar(&cfg.stats, "stats", false, "print execution statistics to stderr")
+	flag.BoolVar(&cfg.stats, "stats", false, "log execution statistics when the scan completes")
 	flag.BoolVar(&cfg.stream, "stream", false, "stream the genome chromosome-by-chromosome (constant memory)")
 	flag.BoolVar(&cfg.bed, "bed", false, "emit BED6 instead of TSV")
 	flag.BoolVar(&cfg.summary, "summary", false, "print a per-guide specificity summary to stderr")
@@ -88,13 +132,31 @@ func main() {
 	flag.StringVar(&cfg.ckptPath, "checkpoint", "", "checkpoint journal path (with -stream: resume by skipping completed chromosomes)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the search after this duration (e.g. 30m; 0 = no limit)")
 	flag.StringVar(&cfg.tracePath, "trace", "", "write a Chrome trace-event timeline of the scan to this file (view in chrome://tracing or Perfetto)")
-	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "deprecated alias for -http")
+	flag.StringVar(&cfg.httpAddr, "http", "", "serve the admin endpoint (/metrics, /healthz, /readyz, /debug/scans, /debug/pprof) on this address (e.g. localhost:6060)")
+	flag.DurationVar(&cfg.httpLinger, "http-linger", 0, "keep the -http endpoint up this long after the scan completes")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text or json")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
+	flag.BoolVar(&showVersion, "version", false, "print version information and exit")
 	flag.Parse()
+
+	if showVersion {
+		version, revision := buildVersion()
+		fmt.Printf("offtarget %s (revision %s, %s)\n", version, revision, runtime.Version())
+		return
+	}
+
+	logger, err := newLogger(cfg.logFormat, cfg.logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "offtarget: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.log = logger
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, &cfg); err != nil {
-		fmt.Fprintf(os.Stderr, "offtarget: %v\n", err)
+		logger.Error("offtarget failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -107,10 +169,38 @@ func run(ctx context.Context, cfg *config) (err error) {
 	if cfg.genomePath == "" {
 		return fmt.Errorf("missing -genome")
 	}
+	logger := cfg.logger().With("engine", cfg.engineName, "k", cfg.k, "pam", cfg.pam)
 	guides, err := loadGuides(cfg.guidesPath, cfg.guideSeq)
 	if err != nil {
 		return err
 	}
+
+	// The admin endpoint binds before any work starts, so a bad -http
+	// fails fast and never truncates -o. It outlives the scan by
+	// -http-linger (see the scan-completion defer below).
+	if cfg.pprofAddr != "" && cfg.httpAddr == "" {
+		logger.Warn("-pprof is deprecated; use -http (pprof handlers are included)")
+		cfg.httpAddr = cfg.pprofAddr
+	}
+	var adm *adminServer
+	if cfg.httpAddr != "" {
+		if cfg.reg == nil {
+			cfg.reg = newScanRegistry()
+		}
+		adm, err = newAdminServer(cfg.httpAddr, cfg.reg, logger)
+		if err != nil {
+			return fmt.Errorf("admin endpoint: %w", err)
+		}
+		defer adm.Close()
+		logger.Info("admin endpoint listening", "addr", adm.Addr())
+		if cfg.onAdmin != nil {
+			cfg.onAdmin(adm.Addr())
+		}
+	}
+
+	// The linger window is bounded by the signal context, not the scan
+	// -timeout: a scan that timed out still exposes its final metrics.
+	lingerCtx := ctx
 	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
@@ -130,9 +220,9 @@ func run(ctx context.Context, cfg *config) (err error) {
 			return err
 		}
 		resuming = doneChroms > 0
-		if resuming && cfg.stats {
-			fmt.Fprintf(os.Stderr, "offtarget: resuming: %d chromosomes (%d sites) already journaled in %s\n",
-				doneChroms, doneSites, cfg.ckptPath)
+		if resuming {
+			logger.Info("resuming from checkpoint",
+				"chromosomes", doneChroms, "sites", doneSites, "journal", cfg.ckptPath)
 		}
 	}
 
@@ -163,20 +253,6 @@ func run(ctx context.Context, cfg *config) (err error) {
 		}
 	}()
 
-	if cfg.pprofAddr != "" {
-		// The default mux already carries the /debug/pprof handlers via
-		// the net/http/pprof import; failures are reported, not fatal —
-		// profiling must never take down a search.
-		go func() {
-			if serr := http.ListenAndServe(cfg.pprofAddr, nil); serr != nil {
-				fmt.Fprintf(os.Stderr, "offtarget: pprof server: %v\n", serr)
-			}
-		}()
-		if cfg.stats {
-			fmt.Fprintf(os.Stderr, "offtarget: pprof at http://%s/debug/pprof/\n", cfg.pprofAddr)
-		}
-	}
-
 	var alts []string
 	if cfg.altPAM != "" {
 		alts = strings.Split(cfg.altPAM, ",")
@@ -205,8 +281,48 @@ func run(ctx context.Context, cfg *config) (err error) {
 		}()
 	}
 
+	if adm != nil {
+		// Every admin-visible scan carries a recorder (for /metrics) and
+		// a progress tracker (for /debug/scans). In streaming mode the
+		// FASTA file size seeds the denominator — a slight overestimate
+		// (headers, newlines), which the tracker reconciles per finished
+		// chromosome and pins below 1.0 until the scan completes.
+		if params.Metrics == nil {
+			params.Metrics = crisprscan.NewMetricsRecorder()
+		}
+		prog := crisprscan.NewProgressTracker()
+		if cfg.stream {
+			if fi, serr := os.Stat(cfg.genomePath); serr == nil {
+				prog.SetTotalBytes(fi.Size())
+			}
+		}
+		params.Progress = prog
+		finishScan := cfg.reg.begin(&scanState{
+			Engine: cfg.engineName, K: cfg.k, PAM: cfg.pam, Genome: cfg.genomePath,
+			rec: params.Metrics, prog: prog,
+		})
+		defer func() {
+			// Deliver buffered rows before lingering, then fold the scan
+			// into the lifetime aggregator so a final scrape sees it.
+			if ferr := w.Flush(); ferr != nil && err == nil {
+				err = fmt.Errorf("flushing output: %w", ferr)
+			}
+			finishScan()
+			if cfg.httpLinger > 0 {
+				logger.Info("scan registered complete; admin endpoint lingering",
+					"addr", adm.Addr(), "linger", cfg.httpLinger)
+				t := time.NewTimer(cfg.httpLinger)
+				select {
+				case <-t.C:
+				case <-lingerCtx.Done():
+					t.Stop()
+				}
+			}
+		}()
+	}
+
 	if cfg.stream {
-		return runStream(ctx, cfg, guides, params, w, resuming)
+		return runStream(ctx, cfg, guides, params, w, resuming, logger)
 	}
 
 	g, err := crisprscan.LoadGenome(cfg.genomePath)
@@ -227,7 +343,7 @@ func run(ctx context.Context, cfg *config) (err error) {
 				s.Guide, s.Chrom, s.Pos, s.Len, s.Strand, s.Mismatches, s.Bulges, s.SiteSeq)
 		}
 		if cfg.stats {
-			fmt.Fprintf(os.Stderr, "offtarget: %d bulge-tolerant sites\n", len(sites))
+			logger.Info("bulge scan complete", "sites", len(sites), "bulge", cfg.bulge)
 		}
 		return nil
 	}
@@ -245,18 +361,18 @@ func run(ctx context.Context, cfg *config) (err error) {
 		}
 	}
 	if cfg.stats {
-		fmt.Fprintf(os.Stderr, "offtarget: engine=%s sites=%d events=%d elapsed=%.3fs\n",
-			res.Stats.Engine, len(res.Sites), res.Stats.Events, res.Stats.ElapsedSec)
+		logger.Info("scan complete",
+			"sites", len(res.Sites), "events", res.Stats.Events, "elapsed_sec", res.Stats.ElapsedSec)
 		if res.Stats.Metrics != nil {
-			fmt.Fprintf(os.Stderr, "offtarget: metrics: %s\n", res.Stats.Metrics)
+			logger.Info("scan metrics", "metrics", res.Stats.Metrics.String())
 		}
 		if res.Stats.Modeled != nil {
-			fmt.Fprintf(os.Stderr, "offtarget: modeled device time: %s\n", res.Stats.Modeled)
+			logger.Info("modeled device time", "modeled", res.Stats.Modeled.String())
 		}
 		if res.Stats.Resources != nil {
 			r := res.Stats.Resources
-			fmt.Fprintf(os.Stderr, "offtarget: device resources: states=%d passes=%d util=%.1f%%\n",
-				r.States, r.Passes, r.Utilization()*100)
+			logger.Info("device resources",
+				"states", r.States, "passes", r.Passes, "utilization", r.Utilization())
 		}
 	}
 	return nil
@@ -266,7 +382,7 @@ func run(ctx context.Context, cfg *config) (err error) {
 // written from the yield callback as each chromosome completes (never
 // buffered genome-wide), and with -checkpoint each chromosome is
 // journaled after its rows reach the output writer.
-func runStream(ctx context.Context, cfg *config, guides []crisprscan.Guide, params crisprscan.Params, w *bufio.Writer, resuming bool) error {
+func runStream(ctx context.Context, cfg *config, guides []crisprscan.Guide, params crisprscan.Params, w *bufio.Writer, resuming bool, logger *slog.Logger) error {
 	if cfg.bulge > 0 {
 		return fmt.Errorf("-stream does not support -bulge")
 	}
@@ -297,13 +413,20 @@ func runStream(ctx context.Context, cfg *config, guides []crisprscan.Guide, para
 	if cfg.ckptPath != "" {
 		st, err = crisprscan.SearchStreamCheckpoint(ctx, f, guides, params, cfg.ckptPath, w.Flush, emit)
 	} else {
-		st, err = crisprscan.SearchStreamContext(ctx, f, guides, params, nil, emit)
+		ctrl := &crisprscan.StreamControl{
+			ChromDone: func(name string, sites int, scannedBases int64) error {
+				logger.Debug("chromosome complete",
+					"chrom", name, "sites", sites, "scanned_bases", scannedBases)
+				return nil
+			},
+		}
+		st, err = crisprscan.SearchStreamContext(ctx, f, guides, params, ctrl, emit)
 	}
 	if cfg.stats && st != nil {
-		fmt.Fprintf(os.Stderr, "offtarget: engine=%s sites=%d events=%d elapsed=%.3fs (streamed)\n",
-			st.Engine, count, st.Events, st.ElapsedSec)
+		logger.Info("scan complete",
+			"sites", count, "events", st.Events, "elapsed_sec", st.ElapsedSec, "streamed", true)
 		if st.Metrics != nil {
-			fmt.Fprintf(os.Stderr, "offtarget: metrics: %s\n", st.Metrics)
+			logger.Info("scan metrics", "metrics", st.Metrics.String())
 		}
 	}
 	if err != nil {

@@ -75,6 +75,29 @@ type ChromeTracer = metrics.ChromeTracer
 // NewMetricsRecorder returns an empty metrics recorder.
 func NewMetricsRecorder() *MetricsRecorder { return metrics.NewRecorder() }
 
+// ProgressTracker follows a scan's advance through the genome for live
+// operational telemetry: bytes scanned versus total, per-chromosome
+// completion, EWMA throughput and ETA. Attach one via Params.Progress
+// and call Snapshot from any goroutine while the scan runs; successive
+// snapshots have non-decreasing Fraction, reaching exactly 1.0 when
+// the scan completes.
+type ProgressTracker = metrics.Progress
+
+// ProgressSnapshot is one immutable view of a ProgressTracker.
+type ProgressSnapshot = metrics.ProgressSnapshot
+
+// NewProgressTracker returns an idle progress tracker.
+func NewProgressTracker() *ProgressTracker { return metrics.NewProgress() }
+
+// MetricsAggregator merges MetricsSnapshots across scans into one
+// process-lifetime view — the backing store for Prometheus-style
+// exposition, where counters must be monotonic across scrapes for the
+// life of the process.
+type MetricsAggregator = metrics.Aggregator
+
+// NewMetricsAggregator returns an empty aggregator.
+func NewMetricsAggregator() *MetricsAggregator { return metrics.NewAggregator() }
+
 // NewChromeTracer starts a Chrome trace-event stream written to w; call
 // Close after the search to finalize the JSON array.
 func NewChromeTracer(w io.Writer) *ChromeTracer { return metrics.NewChromeTracer(w) }
@@ -155,6 +178,13 @@ type Params struct {
 	// When nil a private recorder is created; either way the result's
 	// Stats.Metrics carries the final snapshot.
 	Metrics *MetricsRecorder
+	// Progress, when non-nil, is advanced live as the search runs:
+	// per-chunk byte counts from the worker pools, chromosome
+	// completion from the orchestrator. In-memory searches set the
+	// exact total-bytes denominator; streaming callers should supply an
+	// estimate (e.g. the FASTA file size) via SetTotalBytes. Nil
+	// disables tracking at the cost of one nil check per chunk.
+	Progress *ProgressTracker
 }
 
 // Result is a completed search: verified sites plus execution stats.
@@ -237,6 +267,7 @@ func coreParams(p Params) core.Params {
 		MergeStates:       p.MergeStates,
 		Stride2:           p.Stride2,
 		Metrics:           p.Metrics,
+		Progress:          p.Progress,
 	}
 }
 

@@ -7,7 +7,7 @@
 // deterministic timing models, and context propagation through the
 // scan pipeline — into machine-checked rules.
 //
-// The framework has two tiers. The original six analyzers are purely
+// The framework has two tiers. The first-tier analyzers are purely
 // syntactic (AST + token positions). The typed tier (typecheck.go)
 // adds best-effort go/types information — via the stdlib source
 // importer standalone, or the go command's export data under the vet
@@ -218,12 +218,12 @@ func RunAnalyzers(fset *token.FileSet, prog *Program, analyzers []*Analyzer) ([]
 	return all, nil
 }
 
-// All returns the crisprlint analyzers in stable order: the six
-// syntactic checkers from the first tier, then the three type-checked
-// ones.
+// All returns the crisprlint analyzers in stable order: the syntactic
+// checkers from the first tier, then the three type-checked ones.
 func All() []*Analyzer {
 	return []*Analyzer{
 		EngineReg, DNAAlphabet, StatsDiscipline, ErrWrap, ClockGuard, CtxFlow,
+		LogDiscipline,
 		HotPath, AtomicField, LockOrder,
 	}
 }

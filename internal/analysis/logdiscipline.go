@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LogDiscipline keeps the library packages log-free: diagnostics are a
+// process concern, so `internal/...` code must not print to the
+// terminal via fmt.Print*/log.Print* (or their Fatal/Panic variants)
+// or reach for os.Stderr directly. Libraries communicate failure
+// through returned errors and accept an io.Writer when output is the
+// point (internal/report); human- and machine-readable logging lives
+// in cmd/ on log/slog, where -log-format and -log-level govern it.
+// Test files are exempt (t.Log exists, but fixtures sometimes print),
+// and so is everything outside internal/. Escape hatch:
+// //crisprlint:allow logdiscipline.
+var LogDiscipline = &Analyzer{
+	Name: "logdiscipline",
+	Doc: "internal/... library packages must not write diagnostics to the " +
+		"terminal (fmt.Print*, log print family, os.Stderr); return errors " +
+		"or take an io.Writer, and leave process logging to cmd/ via slog",
+	Run: runLogDiscipline,
+}
+
+// logPrintFuncs is the forbidden print-family surface per package.
+var logPrintFuncs = map[string]map[string]bool{
+	"fmt": {"Print": true, "Printf": true, "Println": true},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+}
+
+func runLogDiscipline(pass *Pass) error {
+	if !inInternalLibrary(pass) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		// Only flag uses where the identifier really is the stdlib
+		// package, not a shadowing local: the file must import it
+		// unrenamed (same approach as clockguard).
+		stdlib := map[string]bool{
+			"fmt": importsUnrenamed(f, "fmt"),
+			"log": importsUnrenamed(f, "log"),
+			"os":  importsUnrenamed(f, "os"),
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok || !stdlib[x.Name] {
+				return true
+			}
+			switch x.Name {
+			case "fmt", "log":
+				if logPrintFuncs[x.Name][sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "%s.%s in library package %s: return an error or take an io.Writer; process logging belongs in cmd/ via slog",
+						x.Name, sel.Sel.Name, pass.Pkg.Name)
+				}
+			case "os":
+				if sel.Sel.Name == "Stderr" {
+					pass.Reportf(sel.Pos(), "os.Stderr in library package %s: libraries must not claim the terminal; accept an io.Writer or return an error",
+						pass.Pkg.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inInternalLibrary reports whether the analyzed package sits under the
+// module's internal/ tree (the library packages the rule governs).
+// cmd/, the public root package, and fixture paths outside internal/
+// are exempt.
+func inInternalLibrary(pass *Pass) bool {
+	path := pass.Pkg.Path
+	if pass.Program != nil && pass.Program.ModulePath != "" {
+		mod := pass.Program.ModulePath
+		if !strings.HasPrefix(path, mod+"/") {
+			return false
+		}
+		path = strings.TrimPrefix(path, mod+"/")
+	}
+	return path == "internal" || strings.HasPrefix(path, "internal/") ||
+		strings.Contains(path, "/internal/")
+}
+
+// importsUnrenamed reports whether f imports the given stdlib path
+// without a rename (so a bare `fmt` identifier resolves to it).
+func importsUnrenamed(f *ast.File, path string) bool {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path && imp.Name == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/analysis"
+	"github.com/cap-repro/crisprscan/internal/analysis/analysistest"
+)
+
+func TestLogDisciplineFiresInLibraryPackages(t *testing.T) {
+	analysistest.Run(t, analysis.LogDiscipline,
+		analysistest.Pkg{Dir: "logdiscipline/bad", Path: analysistest.ModulePath + "/internal/core"})
+}
+
+func TestLogDisciplineHonorsAllowAndShadowing(t *testing.T) {
+	analysistest.Run(t, analysis.LogDiscipline,
+		analysistest.Pkg{Dir: "logdiscipline/allowed", Path: analysistest.ModulePath + "/internal/debugdump"})
+}
+
+func TestLogDisciplineSilentInCommands(t *testing.T) {
+	analysistest.Run(t, analysis.LogDiscipline,
+		analysistest.Pkg{Dir: "logdiscipline/okcmd", Path: analysistest.ModulePath + "/cmd/offtarget"})
+}

@@ -1,0 +1,25 @@
+// Fixture: the escape hatch silences an acknowledged terminal write,
+// and a renamed import is never mistaken for the stdlib package.
+package debugdump
+
+import (
+	"fmt"
+	"os"
+)
+
+// dump is a last-resort debugging aid kept behind an allow directive.
+func dump(state string) {
+	//crisprlint:allow logdiscipline debugging aid, removed before release
+	fmt.Fprintln(os.Stderr, state)
+}
+
+// localPrinter shadows the log package name with a local; calls through
+// it must not be flagged.
+type localPrinter struct{}
+
+func (localPrinter) Printf(string, ...any) {}
+
+func use(p localPrinter) {
+	log := p
+	log.Printf("not the stdlib logger")
+}

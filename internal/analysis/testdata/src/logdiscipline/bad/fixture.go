@@ -1,0 +1,22 @@
+// Fixture: terminal writes inside an internal library package.
+package core
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func scan(n int) error {
+	fmt.Println("scanning", n)          // want `fmt.Println in library package core`
+	fmt.Printf("progress %d%%\n", n)    // want `fmt.Printf in library package core`
+	log.Printf("chrom %d done", n)      // want `log.Printf in library package core`
+	fmt.Fprintf(os.Stderr, "oops %d", n) // want `os.Stderr in library package core`
+	if n < 0 {
+		log.Fatalf("bad n %d", n) // want `log.Fatalf in library package core`
+	}
+	// Formatting and error construction stay legal: the rule is about
+	// claiming the terminal, not about the fmt package.
+	msg := fmt.Sprintf("n=%d", n)
+	return fmt.Errorf("scan failed: %s", msg)
+}

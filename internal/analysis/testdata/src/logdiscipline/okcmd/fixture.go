@@ -1,0 +1,12 @@
+// Fixture: command packages own the process and may print freely.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	fmt.Println("offtarget starting")
+	fmt.Fprintln(os.Stderr, "a command may talk to its terminal")
+}

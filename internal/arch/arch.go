@@ -210,7 +210,7 @@ func ChunkScan(ctx context.Context, label string, workers, total, chunkSize int,
 				if traced {
 					chunkLabel = fmt.Sprintf("%s chunk %d", label, i)
 				}
-				endChunk := rec.StartChunk(chunkLabel)
+				endChunk := rec.StartChunk(chunkLabel, int64(hi-lo))
 				err := runChunk(label, i, lo, hi, rec, scan, &out[i])
 				endChunk()
 				if err != nil {

@@ -13,9 +13,10 @@ import (
 )
 
 // BenchSchema identifies the machine-readable benchmark report format.
-// Bump the suffix when a field changes meaning; adding fields is
-// backward compatible and does not bump it.
-const BenchSchema = "crisprscan-bench/1"
+// Bump the suffix when a field changes meaning or shape; /2 added the
+// chunk-latency histogram (with explicit non-zero log2 buckets) to
+// every entry.
+const BenchSchema = "crisprscan-bench/2"
 
 // BenchEntry is one cell of the benchmark matrix: one engine run on one
 // pinned workload, with throughput, the per-phase breakdown from the
@@ -40,6 +41,9 @@ type BenchEntry struct {
 	Phases metrics.PhaseSeconds `json:"phases_sec"`
 	// Counters holds the scan's event counters.
 	Counters metrics.CounterTotals `json:"counters"`
+	// ChunkLatency is the per-chunk latency distribution, including the
+	// non-zero log2 buckets (zero Count for unchunked engines).
+	ChunkLatency metrics.HistogramSnapshot `json:"chunk_latency"`
 	// ModeledSec carries the accelerator models' analytic device-time
 	// steps; empty for measured engines.
 	ModeledSec map[string]float64 `json:"modeled_sec,omitempty"`
@@ -135,6 +139,7 @@ func RunCase(mc MatrixCase, seed int64) (BenchEntry, error) {
 		Sites:        len(res.Sites),
 		Phases:       snap.Phases,
 		Counters:     snap.Counters,
+		ChunkLatency: snap.ChunkLatency,
 		ModeledSec:   snap.ModeledSec,
 		AllocBytes:   int64(after.TotalAlloc - before.TotalAlloc),
 		AllocObjects: int64(after.Mallocs - before.Mallocs),

@@ -85,6 +85,20 @@ func TestRunMatrixReportSchema(t *testing.T) {
 		if e.AllocBytes < 0 || e.AllocObjects < 0 {
 			t.Errorf("%s: negative allocation delta", e.Key())
 		}
+		// Since schema /2, chunked engines export their latency
+		// distribution with explicit non-zero buckets that sum to Count.
+		if e.ChunkLatency.Count > 0 {
+			var sum int64
+			for _, b := range e.ChunkLatency.Buckets {
+				if b.Count <= 0 {
+					t.Errorf("%s: zero-count bucket exported: %+v", e.Key(), b)
+				}
+				sum += b.Count
+			}
+			if sum != e.ChunkLatency.Count {
+				t.Errorf("%s: bucket sum %d != count %d", e.Key(), sum, e.ChunkLatency.Count)
+			}
+		}
 	}
 
 	// Round-trip through the JSON writer/reader.

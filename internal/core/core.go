@@ -98,6 +98,13 @@ type Params struct {
 	// searches into one recorder. When nil the orchestrator creates a
 	// private recorder; either way every Result carries a Snapshot.
 	Metrics *metrics.Recorder
+	// Progress, when non-nil, is the live progress tracker the search
+	// advances: per-chunk byte counts from the worker pool, chromosome
+	// completion from the orchestrator, and (for in-memory searches) the
+	// exact genome-size denominator. Snapshot it from another goroutine
+	// for live progress/ETA. Nil disables tracking at the cost of one
+	// nil check per chunk.
+	Progress *metrics.Progress
 }
 
 func (p *Params) defaults() {
@@ -113,6 +120,9 @@ func (p *Params) defaults() {
 	if p.Metrics == nil {
 		p.Metrics = metrics.NewRecorder()
 	}
+	// The worker pool only sees the recorder, so the progress tracker
+	// rides on it (a nil tracker stays a no-op sink).
+	p.Metrics.SetProgress(p.Progress)
 }
 
 // Stats describes one search execution.
@@ -303,6 +313,13 @@ func SearchContext(ctx context.Context, g *genome.Genome, guides []dna.Pattern, 
 		}
 	}
 	col := report.NewCollector(resolver)
+	prog := p.Progress
+	if prog.TotalBytes() == 0 {
+		// In-memory searches know the exact denominator (after region
+		// slicing); don't override a caller-supplied estimate.
+		prog.SetTotalBytes(int64(g.TotalLen()))
+	}
+	prog.SetChromCount(len(g.Chroms))
 	events, bytesScanned := 0, 0
 	start := metrics.NewStopwatch()
 	partial := func(scanErr error) (*Result, error) {
@@ -332,6 +349,7 @@ func SearchContext(ctx context.Context, g *genome.Genome, guides []dna.Pattern, 
 		// chromosome's verify share is measured per event and subtracted
 		// from the scan stopwatch to get the pure prefilter time.
 		var verifyNs int64
+		prog.StartChrom(c.Name, int64(len(c.Seq)))
 		endSpan := rec.TraceSpan("scan " + c.Name)
 		swScan := metrics.NewStopwatch()
 		err := scanChromSafe(ctx, engine, c, func(r automata.Report) {
@@ -357,7 +375,9 @@ func SearchContext(ctx context.Context, g *genome.Genome, guides []dna.Pattern, 
 		// accounting regression tests).
 		bytesScanned += len(c.Seq)
 		rec.Add(metrics.CounterBytesScanned, int64(len(c.Seq)))
+		prog.FinishChrom(c.Name)
 	}
+	prog.Finish()
 	res, _ := partial(nil)
 	if m, ok := engine.(arch.Modeled); ok {
 		b := m.EstimateBreakdown(g.TotalLen(), events)

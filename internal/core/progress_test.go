@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/fasta"
+	"github.com/cap-repro/crisprscan/internal/metrics"
+	"github.com/cap-repro/crisprscan/internal/report"
+)
+
+// TestSearchProgressInMemory pins the orchestrator's progress feed:
+// the in-memory path sets the exact denominator, brackets every
+// chromosome, and lands on fraction 1.0 with all bytes accounted.
+func TestSearchProgressInMemory(t *testing.T) {
+	g, guides, _ := plantedFixture(t, 601, 3, 60000, PlantPlanLite())
+	prog := metrics.NewProgress()
+	if _, err := Search(g, guides, Params{MaxMismatches: 2, Progress: prog}); err != nil {
+		t.Fatal(err)
+	}
+	s := prog.Snapshot()
+	if !s.Done || s.Fraction != 1 {
+		t.Fatalf("final progress = %+v, want done at fraction 1", s)
+	}
+	if s.TotalBytes != int64(g.TotalLen()) {
+		t.Errorf("total = %d, want %d", s.TotalBytes, g.TotalLen())
+	}
+	if s.ScannedBytes != s.TotalBytes {
+		t.Errorf("scanned = %d, want %d", s.ScannedBytes, s.TotalBytes)
+	}
+	if s.ChromsDone != len(g.Chroms) || s.ChromsTotal != len(g.Chroms) {
+		t.Errorf("chroms = %d/%d, want %d/%d", s.ChromsDone, s.ChromsTotal, len(g.Chroms), len(g.Chroms))
+	}
+	for _, c := range s.Chroms {
+		if !c.Done {
+			t.Errorf("chromosome %s not marked done", c.Name)
+		}
+	}
+	if s.ETASec != 0 {
+		t.Errorf("final ETA = %v, want 0", s.ETASec)
+	}
+}
+
+// TestSearchProgressStream pins the streaming feed: chromosomes are
+// discovered lazily, an aborted-free run finishes at 1.0, and the
+// caller-supplied total estimate is respected.
+func TestSearchProgressStream(t *testing.T) {
+	g, guides, _ := plantedFixture(t, 602, 3, 60000, PlantPlanLite())
+	var buf bytes.Buffer
+	w := fasta.NewWriter(&buf, 0)
+	for _, rec := range g.ToFasta() {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	prog := metrics.NewProgress()
+	prog.SetTotalBytes(int64(buf.Len())) // file-size estimate, > sum of sequences
+	_, err := SearchStream(&buf, guides, Params{MaxMismatches: 2, Progress: prog},
+		func(report.Site) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.Snapshot()
+	if !s.Done || s.Fraction != 1 {
+		t.Fatalf("final progress = %+v, want done at fraction 1", s)
+	}
+	if s.ChromsDone != len(g.Chroms) {
+		t.Errorf("chroms done = %d, want %d", s.ChromsDone, len(g.Chroms))
+	}
+	// The streaming orchestrator must not clobber the caller's estimate.
+	if s.TotalBytes != int64(buf.Cap()) && s.TotalBytes <= int64(g.TotalLen()) {
+		t.Errorf("total = %d, want the caller's file-size estimate (> %d)", s.TotalBytes, g.TotalLen())
+	}
+}

@@ -63,6 +63,7 @@ func SearchStreamContext(ctx context.Context, r io.Reader, guides []dna.Pattern,
 
 	fr := fasta.NewReader(r)
 	stats := &Stats{Engine: engine.Name()}
+	prog := p.Progress
 	start := metrics.NewStopwatch()
 	finish := func(streamErr error) (*Stats, error) {
 		stats.ElapsedSec = start.Seconds()
@@ -98,6 +99,7 @@ func SearchStreamContext(ctx context.Context, r io.Reader, guides []dna.Pattern,
 		seq, _ := dna.ParseSeq(string(rec.Seq))
 		chrom := genome.Chromosome{Name: rec.ID, Seq: seq, Packed: dna.Pack(seq)}
 		endLoad()
+		prog.StartChrom(rec.ID, int64(len(seq)))
 		col := report.NewCollector(resolver)
 		var addErr error
 		// Per-event resolution time is measured inline and subtracted
@@ -142,6 +144,8 @@ func SearchStreamContext(ctx context.Context, r io.Reader, guides []dna.Pattern,
 				return finish(fmt.Errorf("core: completing %s: %w", rec.ID, err))
 			}
 		}
+		prog.FinishChrom(rec.ID)
 	}
+	prog.Finish()
 	return finish(nil)
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 )
@@ -34,7 +35,10 @@ func (h *Histogram) Observe(ns int64) {
 	h.buckets[bits.Len64(uint64(ns))].Add(1)
 }
 
-// Snapshot renders the sketch into an immutable summary.
+// Snapshot renders the sketch into an immutable summary, including the
+// non-zero log2 buckets (so downstream consumers — the Prometheus
+// histogram exposition, /debug/scans — can render real distributions,
+// not just the quantile summaries).
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	var counts [64]int64
 	total := int64(0)
@@ -50,7 +54,25 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.P50Sec = quantile(counts[:], total, 0.50)
 	s.P90Sec = quantile(counts[:], total, 0.90)
 	s.P99Sec = quantile(counts[:], total, 0.99)
+	for i, c := range counts {
+		if c != 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{UpperNs: bucketUpperNs(i), Count: c})
+		}
+	}
 	return s
+}
+
+// bucketUpperNs returns bucket i's exclusive upper bound in
+// nanoseconds. Bucket 0 holds exactly the value 0; bucket i (i>0)
+// spans [2^(i-1), 2^i). The top bucket's bound saturates at MaxInt64.
+func bucketUpperNs(i int) int64 {
+	if i == 0 {
+		return 1
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return 1 << uint(i)
 }
 
 // quantile returns the geometric midpoint of the bucket holding the
@@ -86,4 +108,64 @@ type HistogramSnapshot struct {
 	P99Sec float64 `json:"p99_sec"`
 	// MaxSec is the exact maximum observed latency.
 	MaxSec float64 `json:"max_sec"`
+	// Buckets lists the non-zero log2 buckets in ascending bound order:
+	// the full distribution behind the quantile summaries. Omitted when
+	// no observations were recorded.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucket is one non-zero log2 bucket of a latency sketch.
+type HistogramBucket struct {
+	// UpperNs is the bucket's exclusive upper bound in nanoseconds:
+	// bucket [UpperNs/2, UpperNs), except the zero bucket (UpperNs 1,
+	// holding exact-zero observations) and the saturated top bucket
+	// (UpperNs MaxInt64).
+	UpperNs int64 `json:"upper_ns"`
+	// Count is the number of observations in the bucket.
+	Count int64 `json:"count"`
+}
+
+// Merge folds another snapshot into s: counts and bucket populations
+// add, the mean is count-weighted, the max takes the larger side, and
+// the quantiles are re-estimated from the merged buckets. The
+// process-lifetime Aggregator uses it to combine per-scan sketches.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	if o.Count == 0 {
+		return s
+	}
+	if s.Count == 0 {
+		return o
+	}
+	var counts [64]int64
+	addBuckets(&counts, s.Buckets)
+	addBuckets(&counts, o.Buckets)
+	m := HistogramSnapshot{Count: s.Count + o.Count, MaxSec: math.Max(s.MaxSec, o.MaxSec)}
+	m.MeanSec = (s.MeanSec*float64(s.Count) + o.MeanSec*float64(o.Count)) / float64(m.Count)
+	m.P50Sec = quantile(counts[:], m.Count, 0.50)
+	m.P90Sec = quantile(counts[:], m.Count, 0.90)
+	m.P99Sec = quantile(counts[:], m.Count, 0.99)
+	for i, c := range counts {
+		if c != 0 {
+			m.Buckets = append(m.Buckets, HistogramBucket{UpperNs: bucketUpperNs(i), Count: c})
+		}
+	}
+	return m
+}
+
+// addBuckets scatters snapshot buckets back onto the 64-slot log2 grid.
+func addBuckets(counts *[64]int64, bs []HistogramBucket) {
+	for _, b := range bs {
+		counts[bucketIndex(b.UpperNs)] += b.Count
+	}
+}
+
+// bucketIndex inverts bucketUpperNs.
+func bucketIndex(upperNs int64) int {
+	if upperNs <= 1 {
+		return 0
+	}
+	if upperNs == math.MaxInt64 {
+		return 63
+	}
+	return bits.Len64(uint64(upperNs)) - 1
 }

@@ -143,6 +143,10 @@ type Recorder struct {
 	// emitted only while non-nil.
 	tracer Tracer
 
+	// progress is set once before scanning via SetProgress; chunk
+	// completions advance it only while non-nil.
+	progress *Progress
+
 	// modeled holds the analytic device-time entries the accelerator
 	// models record (seconds, keyed by model step).
 	mu      sync.Mutex
@@ -159,6 +163,25 @@ func (r *Recorder) SetTracer(t Tracer) {
 		return
 	}
 	r.tracer = t
+}
+
+// SetProgress installs p as the live progress sink: every chunk the
+// worker pool completes advances it by the chunk's input span. Call
+// before scanning starts; a nil p detaches progress tracking.
+func (r *Recorder) SetProgress(p *Progress) {
+	if r == nil {
+		return
+	}
+	r.progress = p
+}
+
+// Progress returns the attached progress tracker (nil when detached —
+// and a nil *Progress is itself a valid no-op sink).
+func (r *Recorder) Progress() *Progress {
+	if r == nil {
+		return nil
+	}
+	return r.progress
 }
 
 // Add increments counter c by n.
@@ -242,11 +265,12 @@ func (r *Recorder) traceStart(label string) func() {
 	return func() {}
 }
 
-// StartChunk instruments one worker-pool chunk: it counts the
-// dispatch, opens a tracer span, and — via the returned func — records
-// the chunk's latency in the histogram sketch. It charges no phase
-// (the orchestrator times the enclosing scan).
-func (r *Recorder) StartChunk(label string) func() {
+// StartChunk instruments one worker-pool chunk spanning bytes input
+// positions: it counts the dispatch, opens a tracer span, and — via
+// the returned func — records the chunk's latency in the histogram
+// sketch and advances the attached progress tracker. It charges no
+// phase (the orchestrator times the enclosing scan).
+func (r *Recorder) StartChunk(label string, bytes int64) func() {
 	if r == nil {
 		return func() {}
 	}
@@ -255,6 +279,7 @@ func (r *Recorder) StartChunk(label string) func() {
 	start := Now()
 	return func() {
 		r.chunkLat.Observe(Now() - start)
+		r.progress.AddBytes(bytes)
 		endTrace()
 	}
 }

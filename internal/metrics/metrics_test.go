@@ -17,7 +17,8 @@ func TestNilRecorderIsInert(t *testing.T) {
 	r.StartPhase(PhaseCompile)()
 	r.StartSpan(PhasePrefilter, "x")()
 	r.TraceSpan("x")()
-	r.StartChunk("x")()
+	r.StartChunk("x", 1)()
+	r.SetProgress(nil)
 	if got := r.PhaseNanos(PhaseCompile); got != 0 {
 		t.Errorf("nil recorder PhaseNanos = %d", got)
 	}
@@ -65,7 +66,7 @@ func TestRecorderConcurrentUse(t *testing.T) {
 			for i := 0; i < 1000; i++ {
 				r.Add(CounterCandidateWindows, 2)
 				r.AddPhaseNanos(PhasePrefilter, 3)
-				end := r.StartChunk("chunk")
+				end := r.StartChunk("chunk", 64)
 				end()
 			}
 		}()

@@ -1,0 +1,333 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Progress tracks one scan's advance through a genome for live
+// operational telemetry: bytes scanned versus total genome size,
+// per-chromosome completion, an EWMA throughput estimate and an ETA.
+// It is fed from two directions — the arch.ChunkScan worker pool
+// reports fine-grained byte advances per completed chunk (via the
+// Recorder it already receives), and the orchestrator brackets each
+// chromosome with StartChrom/FinishChrom, which reconciles the chunk
+// accounting against the authoritative chromosome length (chunked
+// engines advance positions, which undercount by up to one window
+// length per chromosome; unchunked engines advance nothing at all).
+//
+// All methods are safe for concurrent use and are no-ops on a nil
+// receiver, matching the Recorder's nil fast path: uninstrumented scans
+// pay one nil check per chunk and nothing else.
+//
+// Monotonicity contract: ScannedBytes and Fraction in successive
+// Snapshots never decrease, and Fraction reaches exactly 1.0 only
+// after Finish. The /debug/scans admin endpoint and its -race scrape
+// test rely on this.
+type Progress struct {
+	// totalBytes is the genome size denominator (0 = unknown). For
+	// in-memory searches the orchestrator sets it exactly; for streaming
+	// scans the caller may supply an estimate (FASTA file size).
+	totalBytes atomic.Int64
+	// chunkBytes accumulates per-chunk position advances — the hot-path
+	// counter the worker pool bumps.
+	chunkBytes atomic.Int64
+	// scannedFloor is the authoritative completed-bytes floor: the sum
+	// of finished chromosomes' lengths. Published atomically so
+	// Snapshot never reads a torn pair.
+	scannedFloor atomic.Int64
+	// chunkBase is chunkBytes' value when scannedFloor last advanced;
+	// the delta above it is in-flight progress inside the current
+	// chromosome.
+	chunkBase atomic.Int64
+	// startNs is the monotonic clock at first activity (0 = not started).
+	startNs atomic.Int64
+	// finished flips once when the scan completes successfully.
+	finished atomic.Bool
+
+	mu sync.Mutex
+	// chroms records per-chromosome state in scan order. guarded by mu
+	chroms []ChromProgress // guarded by mu
+	// chromIndex maps chromosome name to its chroms slot. guarded by mu
+	chromIndex map[string]int // guarded by mu
+	// current is the chromosome being scanned ("" between). guarded by mu
+	current string // guarded by mu
+	// currentLen is the current chromosome's length. guarded by mu
+	currentLen int64 // guarded by mu
+	// chromTotal is the expected chromosome count (0 = unknown, as in
+	// streaming scans). guarded by mu
+	chromTotal int // guarded by mu
+	// EWMA throughput state: the last sample point and the smoothed
+	// bytes/sec estimate. guarded by mu
+	ewmaBps   float64 // guarded by mu
+	lastNs    int64   // guarded by mu
+	lastBytes int64   // guarded by mu
+}
+
+// ewmaTauNs is the EWMA time constant: samples older than ~5s have
+// decayed to 1/e weight, so the throughput estimate follows load shifts
+// (a repeat-dense chromosome, a worker stall) within seconds while
+// smoothing per-chunk jitter.
+const ewmaTauNs = 5e9
+
+// NewProgress returns an idle tracker.
+func NewProgress() *Progress { return &Progress{} }
+
+// SetTotalBytes sets the genome-size denominator. For streaming scans
+// the caller typically passes the FASTA file size as an estimate; the
+// in-memory orchestrator sets the exact total if none was supplied.
+func (p *Progress) SetTotalBytes(n int64) {
+	if p == nil || n < 0 {
+		return
+	}
+	p.totalBytes.Store(n)
+}
+
+// TotalBytes returns the configured denominator (0 = unknown).
+func (p *Progress) TotalBytes() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.totalBytes.Load()
+}
+
+// SetChromCount announces how many chromosomes the scan will cover,
+// when known up front (in-memory searches; streaming scans discover
+// chromosomes as the FASTA parser reaches them).
+func (p *Progress) SetChromCount(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.chromTotal = n
+	p.mu.Unlock()
+}
+
+// StartChrom marks a chromosome as entering the scan.
+func (p *Progress) StartChrom(name string, bytes int64) {
+	if p == nil {
+		return
+	}
+	p.touchStart()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.chromIndex == nil {
+		p.chromIndex = make(map[string]int)
+	}
+	if _, ok := p.chromIndex[name]; !ok {
+		p.chromIndex[name] = len(p.chroms)
+		p.chroms = append(p.chroms, ChromProgress{Name: name, Bytes: bytes})
+	}
+	p.current = name
+	p.currentLen = bytes
+}
+
+// FinishChrom marks a chromosome complete and reconciles the byte
+// accounting: the completed-bytes floor advances by the chromosome's
+// full length, and subsequent chunk advances count against the next
+// chromosome.
+func (p *Progress) FinishChrom(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	i, ok := p.chromIndex[name]
+	if !ok || p.chroms[i].Done {
+		return
+	}
+	p.chroms[i].Done = true
+	p.scannedFloor.Add(p.chroms[i].Bytes)
+	p.chunkBase.Store(p.chunkBytes.Load())
+	if p.current == name {
+		p.current = ""
+		p.currentLen = 0
+	}
+	p.sampleLocked()
+}
+
+// AddBytes records a fine-grained advance of n input positions — the
+// per-chunk hot path the worker pool calls. The EWMA sample is taken
+// under a TryLock so a contended scrape never blocks a worker; skipped
+// samples are not lost (throughput derives from the cumulative
+// counter, not per-call deltas).
+func (p *Progress) AddBytes(n int64) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.touchStart()
+	p.chunkBytes.Add(n)
+	if p.mu.TryLock() {
+		p.sampleLocked()
+		p.mu.Unlock()
+	}
+}
+
+// Finish marks the scan successfully complete: the fraction becomes
+// exactly 1.0 and the ETA drops to zero. Aborted scans must not call
+// it — their last snapshot keeps the partial fraction.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.touchStart()
+	p.finished.Store(true)
+}
+
+// touchStart arms the elapsed clock on first activity.
+func (p *Progress) touchStart() {
+	if p.startNs.Load() == 0 {
+		p.startNs.CompareAndSwap(0, Now())
+	}
+}
+
+// sampleLocked folds the growth of the cumulative byte counter since
+// the last sample into the EWMA throughput. Caller holds mu.
+func (p *Progress) sampleLocked() {
+	now := Now()
+	bytes := p.scannedBytes()
+	if p.lastNs == 0 {
+		p.lastNs, p.lastBytes = now, bytes
+		return
+	}
+	dt := now - p.lastNs
+	if dt <= 0 {
+		return
+	}
+	inst := float64(bytes-p.lastBytes) / (float64(dt) / 1e9)
+	// Time-constant EWMA: the blend weight grows with the gap since the
+	// previous sample, so irregular chunk completions are weighted by
+	// the interval they actually cover.
+	w := 1 - math.Exp(-float64(dt)/ewmaTauNs)
+	p.ewmaBps += w * (inst - p.ewmaBps)
+	p.lastNs, p.lastBytes = now, bytes
+}
+
+// scannedBytes combines the completed-chromosome floor with the raw
+// in-flight chunk delta (unclamped — throughput sampling only needs
+// growth, not the display value). Caller holds mu.
+func (p *Progress) scannedBytes() int64 {
+	floor := p.scannedFloor.Load()
+	delta := p.chunkBytes.Load() - p.chunkBase.Load()
+	if delta < 0 {
+		delta = 0
+	}
+	return floor + delta
+}
+
+// ChromProgress is one chromosome's completion state.
+type ChromProgress struct {
+	// Name is the chromosome's FASTA identifier.
+	Name string `json:"name"`
+	// Bytes is the chromosome's length in bases.
+	Bytes int64 `json:"bytes"`
+	// Done reports whether the chromosome completed (its sites, if any,
+	// have been delivered).
+	Done bool `json:"done"`
+}
+
+// ProgressSnapshot is an immutable view of a tracker, JSON-ready for
+// the /debug/scans admin endpoint.
+type ProgressSnapshot struct {
+	// TotalBytes is the genome-size denominator (0 = unknown).
+	TotalBytes int64 `json:"total_bytes"`
+	// ScannedBytes is the monotonic bytes-scanned estimate: completed
+	// chromosomes plus in-flight chunk progress.
+	ScannedBytes int64 `json:"scanned_bytes"`
+	// Fraction is ScannedBytes/TotalBytes in [0,1]; it is pinned below
+	// 1.0 until the scan finishes and exactly 1.0 after.
+	Fraction float64 `json:"fraction"`
+	// ThroughputBPS is the EWMA scan throughput in bytes/second (the
+	// lifetime average until enough samples accumulate).
+	ThroughputBPS float64 `json:"throughput_bps"`
+	// ETASec is the estimated seconds to completion (-1 = unknown, 0
+	// once finished).
+	ETASec float64 `json:"eta_sec"`
+	// ElapsedSec is seconds since the scan's first activity.
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// Done reports successful completion.
+	Done bool `json:"done"`
+	// CurrentChrom names the chromosome being scanned ("" between
+	// chromosomes or when done).
+	CurrentChrom string `json:"current_chrom,omitempty"`
+	// ChromsDone / ChromsTotal count chromosome completion; ChromsTotal
+	// is 0 when unknown (streaming scans discover chromosomes lazily).
+	ChromsDone  int `json:"chroms_done"`
+	ChromsTotal int `json:"chroms_total,omitempty"`
+	// Chroms lists per-chromosome state in scan order.
+	Chroms []ChromProgress `json:"chroms,omitempty"`
+}
+
+// Snapshot returns a consistent view of the tracker. It is safe to call
+// at any scrape rate while the scan runs.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{ETASec: -1}
+	}
+	var s ProgressSnapshot
+	s.TotalBytes = p.totalBytes.Load()
+	s.Done = p.finished.Load()
+	if start := p.startNs.Load(); start != 0 {
+		s.ElapsedSec = secondsOf(Now() - start)
+	}
+
+	p.mu.Lock()
+	floor := p.scannedFloor.Load()
+	delta := p.chunkBytes.Load() - p.chunkBase.Load()
+	if delta < 0 {
+		delta = 0
+	}
+	if p.currentLen > 0 && delta > p.currentLen {
+		delta = p.currentLen
+	}
+	s.ScannedBytes = floor + delta
+	s.CurrentChrom = p.current
+	s.ChromsTotal = p.chromTotal
+	for _, c := range p.chroms {
+		if c.Done {
+			s.ChromsDone++
+		}
+	}
+	s.Chroms = append([]ChromProgress(nil), p.chroms...)
+	s.ThroughputBPS = p.ewmaBps
+	p.mu.Unlock()
+
+	if s.Done && s.TotalBytes > 0 {
+		s.ScannedBytes = s.TotalBytes
+	}
+	if s.ThroughputBPS == 0 && s.ElapsedSec > 0 {
+		s.ThroughputBPS = float64(s.ScannedBytes) / s.ElapsedSec
+	}
+	s.Fraction, s.ETASec = fractionETA(s)
+	return s
+}
+
+// fractionETA derives the completion fraction and ETA from a snapshot's
+// raw fields.
+func fractionETA(s ProgressSnapshot) (frac, eta float64) {
+	if s.Done {
+		return 1, 0
+	}
+	if s.TotalBytes <= 0 {
+		return 0, -1
+	}
+	frac = float64(s.ScannedBytes) / float64(s.TotalBytes)
+	// Pin below 1.0 until Finish: a streaming total is an estimate
+	// (file size includes FASTA headers/newlines), so the raw ratio can
+	// touch or cross 1 while the scan is still running.
+	if frac > 0.999 {
+		frac = 0.999
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if s.ThroughputBPS > 0 {
+		remaining := s.TotalBytes - s.ScannedBytes
+		if remaining < 0 {
+			remaining = 0
+		}
+		return frac, float64(remaining) / s.ThroughputBPS
+	}
+	return frac, -1
+}

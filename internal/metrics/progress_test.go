@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestProgressNilIsSafe(t *testing.T) {
+	var p *Progress
+	p.SetTotalBytes(100)
+	p.SetChromCount(2)
+	p.StartChrom("chr1", 50)
+	p.AddBytes(10)
+	p.FinishChrom("chr1")
+	p.Finish()
+	if got := p.TotalBytes(); got != 0 {
+		t.Errorf("nil TotalBytes = %d", got)
+	}
+	s := p.Snapshot()
+	if s.Fraction != 0 || s.ETASec != -1 || s.Done {
+		t.Errorf("nil Snapshot = %+v", s)
+	}
+}
+
+func TestProgressLifecycle(t *testing.T) {
+	p := NewProgress()
+	p.SetTotalBytes(1000)
+	p.SetChromCount(2)
+
+	s := p.Snapshot()
+	if s.Fraction != 0 || s.ScannedBytes != 0 {
+		t.Fatalf("idle snapshot = %+v", s)
+	}
+
+	p.StartChrom("chr1", 600)
+	p.AddBytes(300)
+	s = p.Snapshot()
+	if s.ScannedBytes != 300 {
+		t.Errorf("mid-chrom scanned = %d, want 300", s.ScannedBytes)
+	}
+	if s.CurrentChrom != "chr1" {
+		t.Errorf("current chrom = %q", s.CurrentChrom)
+	}
+	if s.Fraction <= 0 || s.Fraction >= 1 {
+		t.Errorf("mid-scan fraction = %v", s.Fraction)
+	}
+
+	// Chunk advances undercount (positions, not bases); FinishChrom
+	// reconciles to the authoritative chromosome length.
+	p.FinishChrom("chr1")
+	s = p.Snapshot()
+	if s.ScannedBytes != 600 {
+		t.Errorf("after chr1 scanned = %d, want 600", s.ScannedBytes)
+	}
+	if s.ChromsDone != 1 || s.ChromsTotal != 2 {
+		t.Errorf("chrom counts = %d/%d", s.ChromsDone, s.ChromsTotal)
+	}
+
+	p.StartChrom("chr2", 400)
+	// An engine advancing more positions than the chromosome holds must
+	// be clamped, keeping the display monotonic through reconciliation.
+	p.AddBytes(1_000_000)
+	s = p.Snapshot()
+	if s.ScannedBytes != 1000 {
+		t.Errorf("clamped scanned = %d, want 1000", s.ScannedBytes)
+	}
+	if s.Fraction >= 1 {
+		t.Errorf("unfinished fraction = %v, want < 1", s.Fraction)
+	}
+
+	p.FinishChrom("chr2")
+	p.Finish()
+	s = p.Snapshot()
+	if s.Fraction != 1 || !s.Done || s.ETASec != 0 {
+		t.Errorf("final snapshot = %+v", s)
+	}
+	if len(s.Chroms) != 2 || !s.Chroms[0].Done || !s.Chroms[1].Done {
+		t.Errorf("chrom list = %+v", s.Chroms)
+	}
+}
+
+func TestProgressDoubleFinishChromCountsOnce(t *testing.T) {
+	p := NewProgress()
+	p.SetTotalBytes(100)
+	p.StartChrom("chr1", 100)
+	p.FinishChrom("chr1")
+	p.FinishChrom("chr1")
+	if s := p.Snapshot(); s.ScannedBytes != 100 {
+		t.Errorf("scanned = %d after double finish, want 100", s.ScannedBytes)
+	}
+}
+
+// TestProgressMonotonicUnderConcurrency hammers the tracker from
+// writer goroutines while a reader asserts the monotonicity contract
+// the admin endpoint depends on.
+func TestProgressMonotonicUnderConcurrency(t *testing.T) {
+	p := NewProgress()
+	p.SetTotalBytes(64 * 1000)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var lastBytes int64
+		var lastFrac float64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := p.Snapshot()
+			if s.ScannedBytes < lastBytes {
+				t.Errorf("ScannedBytes went backwards: %d -> %d", lastBytes, s.ScannedBytes)
+				return
+			}
+			if s.Fraction < lastFrac {
+				t.Errorf("Fraction went backwards: %v -> %v", lastFrac, s.Fraction)
+				return
+			}
+			lastBytes, lastFrac = s.ScannedBytes, s.Fraction
+		}
+	}()
+	for c := 0; c < 8; c++ {
+		name := string(rune('a' + c))
+		p.StartChrom(name, 8*1000)
+		var cw sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			cw.Add(1)
+			go func() {
+				defer cw.Done()
+				for i := 0; i < 2000; i++ {
+					p.AddBytes(1)
+				}
+			}()
+		}
+		cw.Wait()
+		p.FinishChrom(name)
+	}
+	p.Finish()
+	close(stop)
+	wg.Wait()
+	if s := p.Snapshot(); s.Fraction != 1 || s.ScannedBytes != 64*1000 {
+		t.Errorf("final = %+v", s)
+	}
+}
+
+func TestProgressThroughputAndETA(t *testing.T) {
+	p := NewProgress()
+	p.SetTotalBytes(1 << 30)
+	p.StartChrom("chr1", 1<<30)
+	for i := 0; i < 50; i++ {
+		p.AddBytes(1 << 16)
+	}
+	s := p.Snapshot()
+	if s.ThroughputBPS <= 0 {
+		t.Errorf("throughput = %v, want > 0", s.ThroughputBPS)
+	}
+	if s.ETASec < 0 {
+		t.Errorf("ETA = %v, want finite", s.ETASec)
+	}
+	if s.ElapsedSec < 0 {
+		t.Errorf("elapsed = %v", s.ElapsedSec)
+	}
+}

@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a stdlib-only encoder for the Prometheus text exposition
+// format, version 0.0.4 (the format every Prometheus server scrapes):
+// one `# HELP` and `# TYPE` header per metric family, one sample per
+// line, label values escaped, histograms rendered as cumulative `le`
+// buckets plus `_sum` and `_count`. Metric families under the
+// crisprscan_* namespace are defined in WriteSnapshot; callers with
+// extra gauges (per-scan progress, build info) append them through the
+// same encoder so family uniqueness is enforced in one place.
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// PromEncoder streams one exposition document. Errors are sticky and
+// surfaced by Err, so call sites can chain writes unchecked.
+type PromEncoder struct {
+	w    io.Writer
+	seen map[string]bool
+	err  error
+}
+
+// NewPromEncoder starts an exposition document on w.
+func NewPromEncoder(w io.Writer) *PromEncoder {
+	return &PromEncoder{w: w, seen: make(map[string]bool)}
+}
+
+// Err returns the first write or format error.
+func (e *PromEncoder) Err() error { return e.err }
+
+// Family writes the HELP/TYPE header for a metric family. Declaring
+// the same family twice is an error — a scrape with duplicate families
+// is rejected by Prometheus, so the encoder enforces uniqueness at
+// generation time.
+func (e *PromEncoder) Family(name, help, typ string) {
+	if e.err != nil {
+		return
+	}
+	if e.seen[name] {
+		e.err = fmt.Errorf("metrics: duplicate metric family %q", name)
+		return
+	}
+	e.seen[name] = true
+	_, e.err = fmt.Fprintf(e.w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample writes one sample line. The family must have been declared
+// (histogram series use their parent family's name plus a suffix and
+// are exempt from the check).
+func (e *PromEncoder) Sample(name string, labels []Label, value float64) {
+	if e.err != nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(value))
+	b.WriteByte('\n')
+	_, e.err = io.WriteString(e.w, b.String())
+}
+
+// Histogram renders a HistogramSnapshot as one Prometheus histogram
+// family: cumulative le buckets (seconds), +Inf, _sum and _count.
+func (e *PromEncoder) Histogram(name, help string, labels []Label, h HistogramSnapshot) {
+	e.Family(name, help, "histogram")
+	cum := int64(0)
+	for _, b := range h.Buckets {
+		if b.UpperNs == math.MaxInt64 {
+			// The saturated top bucket folds into the +Inf series below.
+			break
+		}
+		cum += b.Count
+		e.Sample(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", formatValue(secondsOf(b.UpperNs))}), float64(cum))
+	}
+	e.Sample(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", "+Inf"}), float64(h.Count))
+	e.Sample(name+"_sum", labels, h.MeanSec*float64(h.Count))
+	e.Sample(name+"_count", labels, float64(h.Count))
+}
+
+// WriteSnapshot renders a metrics snapshot as the core crisprscan_*
+// families: per-phase time counters, event counters, the chunk-latency
+// histogram, and modeled device-time steps. labels (for example a
+// lifetime/live distinction) are applied to every sample.
+func (e *PromEncoder) WriteSnapshot(s *Snapshot, labels ...Label) {
+	if s == nil {
+		s = &Snapshot{}
+	}
+	e.Family("crisprscan_phase_seconds_total", "Wall-clock seconds accumulated per scan pipeline phase.", "counter")
+	for p := Phase(0); p < NumPhases; p++ {
+		e.Sample("crisprscan_phase_seconds_total",
+			append(labels[:len(labels):len(labels)], Label{"phase", p.String()}), phaseSeconds(s, p))
+	}
+
+	for c := Counter(0); c < NumCounters; c++ {
+		name := "crisprscan_" + c.String() + "_total"
+		e.Family(name, counterHelp(c), "counter")
+		e.Sample(name, labels, float64(counterValue(s, c)))
+	}
+
+	e.Histogram("crisprscan_chunk_latency_seconds",
+		"Per-chunk scan latency across the worker pool (log2 sketch).", labels, s.ChunkLatency)
+
+	if len(s.ModeledSec) > 0 {
+		e.Family("crisprscan_modeled_seconds_total",
+			"Analytic accelerator-model device time per step.", "counter")
+		steps := make([]string, 0, len(s.ModeledSec))
+		for k := range s.ModeledSec {
+			steps = append(steps, k)
+		}
+		sort.Strings(steps)
+		for _, k := range steps {
+			e.Sample("crisprscan_modeled_seconds_total",
+				append(labels[:len(labels):len(labels)], Label{"step", k}), s.ModeledSec[k])
+		}
+	}
+}
+
+// WriteScanProgress renders one scan's live progress gauges under the
+// given labels (typically scan id + engine).
+func (e *PromEncoder) WriteScanProgress(ps ProgressSnapshot, labels []Label) {
+	e.declareOnce("crisprscan_scan_progress_fraction", "Completed fraction of the scan's genome (0..1).", "gauge")
+	e.Sample("crisprscan_scan_progress_fraction", labels, ps.Fraction)
+	e.declareOnce("crisprscan_scan_scanned_bytes", "Reference bases scanned so far by the scan.", "gauge")
+	e.Sample("crisprscan_scan_scanned_bytes", labels, float64(ps.ScannedBytes))
+	e.declareOnce("crisprscan_scan_throughput_bytes_per_second", "EWMA scan throughput.", "gauge")
+	e.Sample("crisprscan_scan_throughput_bytes_per_second", labels, ps.ThroughputBPS)
+	e.declareOnce("crisprscan_scan_eta_seconds", "Estimated seconds to scan completion (-1 = unknown).", "gauge")
+	e.Sample("crisprscan_scan_eta_seconds", labels, ps.ETASec)
+	e.declareOnce("crisprscan_scan_elapsed_seconds", "Seconds since the scan started.", "gauge")
+	e.Sample("crisprscan_scan_elapsed_seconds", labels, ps.ElapsedSec)
+}
+
+// declareOnce declares a family on first use; later calls (one per
+// in-flight scan) just append samples.
+func (e *PromEncoder) declareOnce(name, help, typ string) {
+	if e.seen[name] {
+		return
+	}
+	e.Family(name, help, typ)
+}
+
+// phaseSeconds indexes a snapshot's phase block by enum.
+func phaseSeconds(s *Snapshot, p Phase) float64 {
+	switch p {
+	case PhaseLoad:
+		return s.Phases.Load
+	case PhaseCompile:
+		return s.Phases.Compile
+	case PhasePrefilter:
+		return s.Phases.Prefilter
+	case PhaseVerify:
+		return s.Phases.Verify
+	case PhaseReport:
+		return s.Phases.Report
+	}
+	return 0
+}
+
+// counterValue indexes a snapshot's counter block by enum.
+func counterValue(s *Snapshot, c Counter) int64 {
+	switch c {
+	case CounterBytesScanned:
+		return s.Counters.BytesScanned
+	case CounterCandidateWindows:
+		return s.Counters.CandidateWindows
+	case CounterPrefilterHits:
+		return s.Counters.PrefilterHits
+	case CounterVerifications:
+		return s.Counters.Verifications
+	case CounterSitesEmitted:
+		return s.Counters.SitesEmitted
+	case CounterChunksDispatched:
+		return s.Counters.ChunksDispatched
+	case CounterPanicsRecovered:
+		return s.Counters.PanicsRecovered
+	}
+	return 0
+}
+
+// counterHelp is the HELP text per counter family.
+func counterHelp(c Counter) string {
+	switch c {
+	case CounterBytesScanned:
+		return "Reference bases streamed through the engine."
+	case CounterCandidateWindows:
+		return "Window positions examined as potential sites."
+	case CounterPrefilterHits:
+		return "Candidates surviving the literal prefilter stage."
+	case CounterVerifications:
+		return "Full pattern evaluations performed."
+	case CounterSitesEmitted:
+		return "Verified, deduplicated sites delivered."
+	case CounterChunksDispatched:
+		return "Worker-pool work units executed."
+	case CounterPanicsRecovered:
+		return "Worker panics isolated into errors."
+	}
+	return c.String()
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes HELP text (backslash and newline only).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

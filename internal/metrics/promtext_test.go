@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition is a minimal 0.0.4 validator: it checks HELP/TYPE
+// pairing, family uniqueness, sample→family attribution, and returns
+// the samples keyed by full series (name + label block).
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	families := make(map[string]string) // name -> type
+	var helped []string
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if _, dup := families[parts[0]]; dup {
+				t.Errorf("line %d: duplicate metric family %s", ln+1, parts[0])
+			}
+			families[parts[0]] = ""
+			helped = append(helped, parts[0])
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			typ, ok := families[parts[0]]
+			if !ok {
+				t.Errorf("line %d: TYPE before HELP for %s", ln+1, parts[0])
+			}
+			if typ != "" {
+				t.Errorf("line %d: duplicate TYPE for %s", ln+1, parts[0])
+			}
+			families[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: malformed sample: %q", ln+1, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		name := series
+		if b := strings.IndexByte(series, '{'); b >= 0 {
+			name = series[:b]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) {
+				if typ, ok := families[strings.TrimSuffix(name, suf)]; ok && typ == "histogram" {
+					base = strings.TrimSuffix(name, suf)
+				}
+			}
+		}
+		if _, ok := families[base]; !ok {
+			t.Errorf("line %d: sample %s has no declared family", ln+1, name)
+		}
+		var v float64
+		if valStr == "+Inf" {
+			v = math.Inf(1)
+		} else {
+			var err error
+			v, err = strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+			}
+		}
+		if _, dup := samples[series]; dup {
+			t.Errorf("line %d: duplicate series %s", ln+1, series)
+		}
+		samples[series] = v
+	}
+	for name, typ := range families {
+		if typ == "" {
+			t.Errorf("family %s has HELP but no TYPE", name)
+		}
+	}
+	return samples
+}
+
+func TestWriteSnapshotExposition(t *testing.T) {
+	r := NewRecorder()
+	r.Add(CounterBytesScanned, 12345)
+	r.Add(CounterSitesEmitted, 7)
+	r.AddPhaseNanos(PhasePrefilter, 3e9)
+	r.AddModeledSeconds("kernel", 0.25)
+	r.AddModeledSeconds("transfer", 0.125)
+	r.StartChunk("c", 64)()
+	r.StartChunk("c", 64)()
+	snap := r.Snapshot()
+
+	var b strings.Builder
+	e := NewPromEncoder(&b)
+	e.WriteSnapshot(snap)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, b.String())
+
+	if got := samples["crisprscan_bytes_scanned_total"]; got != 12345 {
+		t.Errorf("bytes_scanned = %v", got)
+	}
+	if got := samples["crisprscan_sites_emitted_total"]; got != 7 {
+		t.Errorf("sites_emitted = %v", got)
+	}
+	if got := samples[`crisprscan_phase_seconds_total{phase="prefilter"}`]; got != 3 {
+		t.Errorf("prefilter phase = %v", got)
+	}
+	if got := samples[`crisprscan_modeled_seconds_total{step="kernel"}`]; got != 0.25 {
+		t.Errorf("modeled kernel = %v", got)
+	}
+	if got := samples["crisprscan_chunk_latency_seconds_count"]; got != 2 {
+		t.Errorf("hist count = %v", got)
+	}
+	if got := samples[`crisprscan_chunk_latency_seconds_bucket{le="+Inf"}`]; got != 2 {
+		t.Errorf("hist +Inf bucket = %v", got)
+	}
+}
+
+func TestHistogramBucketsAreCumulative(t *testing.T) {
+	var h Histogram
+	h.Observe(100) // bucket [64,128)
+	h.Observe(100)
+	h.Observe(5000) // bucket [4096,8192)
+	var b strings.Builder
+	e := NewPromEncoder(&b)
+	e.Histogram("x_seconds", "test", nil, h.Snapshot())
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, b.String())
+	le128 := samples[fmt.Sprintf(`x_seconds_bucket{le="%s"}`, formatValue(secondsOf(128)))]
+	le8192 := samples[fmt.Sprintf(`x_seconds_bucket{le="%s"}`, formatValue(secondsOf(8192)))]
+	if le128 != 2 || le8192 != 3 {
+		t.Errorf("cumulative buckets: le128=%v le8192=%v, want 2, 3\n%s", le128, le8192, b.String())
+	}
+	if samples[`x_seconds_bucket{le="+Inf"}`] != 3 {
+		t.Errorf("+Inf bucket = %v", samples[`x_seconds_bucket{le="+Inf"}`])
+	}
+}
+
+func TestPromEncoderRejectsDuplicateFamily(t *testing.T) {
+	var b strings.Builder
+	e := NewPromEncoder(&b)
+	e.Family("x_total", "a", "counter")
+	e.Family("x_total", "a", "counter")
+	if e.Err() == nil {
+		t.Fatal("duplicate family accepted")
+	}
+}
+
+func TestPromEncoderEscapesLabels(t *testing.T) {
+	var b strings.Builder
+	e := NewPromEncoder(&b)
+	e.Family("x_total", "a", "counter")
+	e.Sample("x_total", []Label{{"chrom", "a\"b\\c\nd"}}, 1)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `x_total{chrom="a\"b\\c\nd"} 1` + "\n"
+	if !strings.HasSuffix(b.String(), want) {
+		t.Errorf("escaped sample = %q, want suffix %q", b.String(), want)
+	}
+}
+
+func TestWriteScanProgressGauges(t *testing.T) {
+	p := NewProgress()
+	p.SetTotalBytes(100)
+	p.StartChrom("chr1", 100)
+	p.AddBytes(40)
+	var b strings.Builder
+	e := NewPromEncoder(&b)
+	labels := []Label{{"scan", "1"}, {"engine", "hyperscan"}}
+	e.WriteScanProgress(p.Snapshot(), labels)
+	// A second scan reuses the declared families without duplicating them.
+	e.WriteScanProgress(p.Snapshot(), []Label{{"scan", "2"}, {"engine", "casot"}})
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, b.String())
+	if got := samples[`crisprscan_scan_progress_fraction{scan="1",engine="hyperscan"}`]; got != 0.4 {
+		t.Errorf("fraction = %v, want 0.4", got)
+	}
+	if got := samples[`crisprscan_scan_scanned_bytes{scan="2",engine="casot"}`]; got != 40 {
+		t.Errorf("scan 2 bytes = %v", got)
+	}
+}

@@ -108,7 +108,7 @@ func TestRecorderTracerIntegration(t *testing.T) {
 	r.StartPhase(PhaseCompile)()
 	r.StartSpan(PhasePrefilter, "prefilter chr1")()
 	r.TraceSpan("custom")()
-	r.StartChunk("chunk 0")()
+	r.StartChunk("chunk 0", 64)()
 	if err := tr.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
