@@ -1,15 +1,21 @@
 // Command crisprlint is the repository's invariant checker: a
-// multichecker of nine custom analyzers that enforce the contracts the
-// code base otherwise keeps only by convention. Six are syntactic
+// multichecker of fifteen custom analyzers that enforce the contracts
+// the code base otherwise keeps only by convention. Eight are syntactic
 // (enginereg, dnaalphabet, statsdiscipline, errwrap, clockguard,
-// ctxflow): engine-registry parity behind the paper's "identical site
-// set" claim, the internal/dna alphabet boundary, populated execution
-// stats, the error-prefix/%w convention, deterministic
-// modeled-platform timing, and context propagation through the scan
-// pipeline. Three are type-checked (hotpath, atomicfield, lockorder):
-// allocation-freedom in //crisprlint:hotpath-annotated scan kernels,
-// no torn sync/atomic counters, and documented `guarded by <mu>` mutex
-// discipline.
+// ctxflow, logdiscipline, deferloop): engine-registry parity behind the
+// paper's "identical site set" claim, the internal/dna alphabet
+// boundary, populated execution stats, the error-prefix/%w convention,
+// deterministic modeled-platform timing, context propagation through
+// the scan pipeline, library logging discipline, and no accumulating
+// defers in loops. Three are type-checked (hotpath, atomicfield,
+// lockorder): allocation-freedom in //crisprlint:hotpath-annotated scan
+// kernels, no torn sync/atomic counters, and documented `guarded by
+// <mu>` mutex discipline. Four are interprocedural (goroutineleak,
+// chandiscipline, waitsync, lockcycle), built on a module-wide call
+// graph with serialized per-function facts under the vet protocol:
+// provable goroutine termination paths, channel close/send ownership,
+// sync.WaitGroup protocol, and an acyclic module-wide lock-order
+// graph.
 //
 // Standalone usage (whole-module analysis, including the cross-package
 // checks):

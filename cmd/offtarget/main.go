@@ -43,6 +43,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -81,6 +82,28 @@ type config struct {
 	log     *slog.Logger      // defaults to slog.Default()
 	onAdmin func(addr string) // test hook: observes the bound -http address
 	reg     *scanRegistry     // test hook: shared registry; run creates one if nil
+}
+
+// pprofAliasOnce dedupes the -pprof deprecation warning: run is
+// re-entrant (tests, library embedding) and the nag is per process, not
+// per scan.
+var pprofAliasOnce sync.Once
+
+// applyPprofAlias resolves the deprecated -pprof flag. Any use of
+// -pprof draws a one-time warning pointing at -http; the alias only
+// supplies the address when -http was not given explicitly (-http
+// wins).
+func applyPprofAlias(cfg *config, logger *slog.Logger) {
+	if cfg.pprofAddr == "" {
+		return
+	}
+	pprofAliasOnce.Do(func() {
+		logger.Warn("-pprof is deprecated and will be removed; use -http (the admin endpoint includes /debug/pprof)",
+			"pprof", cfg.pprofAddr)
+	})
+	if cfg.httpAddr == "" {
+		cfg.httpAddr = cfg.pprofAddr
+	}
 }
 
 func (c *config) logger() *slog.Logger {
@@ -178,10 +201,7 @@ func run(ctx context.Context, cfg *config) (err error) {
 	// The admin endpoint binds before any work starts, so a bad -http
 	// fails fast and never truncates -o. It outlives the scan by
 	// -http-linger (see the scan-completion defer below).
-	if cfg.pprofAddr != "" && cfg.httpAddr == "" {
-		logger.Warn("-pprof is deprecated; use -http (pprof handlers are included)")
-		cfg.httpAddr = cfg.pprofAddr
-	}
+	applyPprofAlias(cfg, logger)
 	var adm *adminServer
 	if cfg.httpAddr != "" {
 		if cfg.reg == nil {

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestPprofAliasWarnsOnceAndAliases pins the -pprof compatibility
+// contract: using the deprecated flag logs exactly one deprecation
+// warning per process (pointing at -http), the alias fills httpAddr
+// when -http is absent, and an explicit -http wins over the alias.
+func TestPprofAliasWarnsOnceAndAliases(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+
+	cfg := &config{pprofAddr: "localhost:6060"}
+	applyPprofAlias(cfg, logger)
+	if cfg.httpAddr != "localhost:6060" {
+		t.Errorf("httpAddr = %q, want the -pprof value aliased in", cfg.httpAddr)
+	}
+
+	// Explicit -http wins; the alias must not clobber it.
+	cfg2 := &config{pprofAddr: "localhost:6060", httpAddr: "localhost:7070"}
+	applyPprofAlias(cfg2, logger)
+	if cfg2.httpAddr != "localhost:7070" {
+		t.Errorf("httpAddr = %q, want the explicit -http value kept", cfg2.httpAddr)
+	}
+
+	// No -pprof, no warning, no change.
+	cfg3 := &config{httpAddr: "localhost:7070"}
+	applyPprofAlias(cfg3, logger)
+	if cfg3.httpAddr != "localhost:7070" {
+		t.Errorf("httpAddr = %q, want untouched", cfg3.httpAddr)
+	}
+
+	out := buf.String()
+	if n := strings.Count(out, "-pprof is deprecated"); n != 1 {
+		t.Errorf("deprecation warning logged %d times, want exactly 1; log:\n%s", n, out)
+	}
+	if !strings.Contains(out, "use -http") {
+		t.Errorf("warning does not point at -http; log:\n%s", out)
+	}
+	if !strings.Contains(out, "level=WARN") {
+		t.Errorf("deprecation message not logged at WARN; log:\n%s", out)
+	}
+}

@@ -7,13 +7,20 @@
 // deterministic timing models, and context propagation through the
 // scan pipeline — into machine-checked rules.
 //
-// The framework has two tiers. The first-tier analyzers are purely
+// The framework has three tiers. The first-tier analyzers are purely
 // syntactic (AST + token positions). The typed tier (typecheck.go)
 // adds best-effort go/types information — via the stdlib source
 // importer standalone, or the go command's export data under the vet
 // protocol — for the three hot-path analyzers: hotpath (allocation
 // freedom in annotated scan kernels), atomicfield (no torn counters),
-// and lockorder (documented mutex discipline). Either way the driver
+// and lockorder (documented mutex discipline). The interprocedural
+// tier (callgraph.go) builds a conservative module-wide call graph on
+// top of the typed tier and derives per-function facts — never
+// returns, transitive mutex acquisitions, lock-order edges — for the
+// concurrency analyzers: goroutineleak, chandiscipline, waitsync, and
+// lockcycle. Under the vet protocol those facts serialize to the
+// .vetx file the go command manages per package, so cross-package
+// conclusions survive per-package analysis. Either way the driver
 // works both as a standalone multichecker (cmd/crisprlint) and as a
 // `go vet -vettool` backend, with no network or third-party
 // dependencies.
@@ -90,6 +97,12 @@ type Program struct {
 	// from the export data the go command supplies; when nil the typed
 	// tier falls back to the stdlib source importer.
 	VetImporter types.Importer
+	// VetFactFiles, when set by the vet-protocol driver, maps the import
+	// path of each dependency to its serialized fact file (the .vetx the
+	// go command produced by running crisprlint on that dependency). The
+	// interprocedural tier reads callee summaries from it; missing
+	// entries degrade to conservative assumptions.
+	VetFactFiles map[string]string
 
 	typesOnce sync.Once
 	types     *typesState
@@ -205,6 +218,8 @@ func RunAnalyzers(fset *token.FileSet, prog *Program, analyzers []*Analyzer) ([]
 			}
 		}
 	}
+	// Deterministic order — (file, line, column, analyzer) — so repeated
+	// runs and the -json report diff cleanly.
 	sort.Slice(all, func(i, j int) bool {
 		pi, pj := fset.Position(all[i].Pos), fset.Position(all[j].Pos)
 		if pi.Filename != pj.Filename {
@@ -213,18 +228,23 @@ func RunAnalyzers(fset *token.FileSet, prog *Program, analyzers []*Analyzer) ([]
 		if pi.Line != pj.Line {
 			return pi.Line < pj.Line
 		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
 		return all[i].Analyzer < all[j].Analyzer
 	})
 	return all, nil
 }
 
 // All returns the crisprlint analyzers in stable order: the syntactic
-// checkers from the first tier, then the three type-checked ones.
+// checkers from the first tier, the three type-checked ones, then the
+// interprocedural concurrency tier.
 func All() []*Analyzer {
 	return []*Analyzer{
 		EngineReg, DNAAlphabet, StatsDiscipline, ErrWrap, ClockGuard, CtxFlow,
-		LogDiscipline,
+		LogDiscipline, DeferLoop,
 		HotPath, AtomicField, LockOrder,
+		GoroutineLeak, ChanDiscipline, WaitSync, LockCycle,
 	}
 }
 

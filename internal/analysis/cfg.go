@@ -12,9 +12,14 @@ package analysis
 //
 // The CFG is approximate in ways that are safe for a must-analysis
 // whose findings can be suppressed: goto edges jump straight to the
-// exit block, labeled break/continue resolve to the innermost target,
-// and function literals are opaque statements (their bodies are
-// analyzed separately, or not at all, by each analyzer's choice).
+// exit block, and function literals are opaque statements (their
+// bodies are analyzed separately, or not at all, by each analyzer's
+// choice). Labeled break/continue resolve to their named loop or
+// switch (the interprocedural tier's termination check depends on
+// `break outer` actually leaving the outer loop); an unknown label
+// degrades to the exit block. A `select` without a default clause
+// blocks until a case fires, so — unlike a switch — it contributes no
+// fall-through edge, and the empty `select{}` is modeled as diverging.
 // Unreachable blocks start from the full universe, so dead code never
 // produces findings.
 
@@ -87,6 +92,40 @@ type cfgBuilder struct {
 	// corresponding branch statements resolve against.
 	breakTargets    []*cfgBlock
 	continueTargets []*cfgBlock
+	// pendingLabels holds the labels of the LabeledStmts currently
+	// being lowered, consumed by the loop or switch they name (several
+	// labels may stack on one statement). Any statement that is not a
+	// labeled loop/switch drops them: they remain goto targets only.
+	pendingLabels []string
+	// labelBreak / labelCont resolve labeled branch statements to the
+	// exit and header blocks of the construct carrying the label.
+	labelBreak map[string]*cfgBlock
+	labelCont  map[string]*cfgBlock
+}
+
+// takeLabels consumes the pending labels for the construct being built.
+func (b *cfgBuilder) takeLabels() []string {
+	l := b.pendingLabels
+	b.pendingLabels = nil
+	return l
+}
+
+// registerLabels maps each label to its break target and, for loops,
+// its continue target.
+func (b *cfgBuilder) registerLabels(labels []string, brk, cont *cfgBlock) {
+	if len(labels) == 0 {
+		return
+	}
+	if b.labelBreak == nil {
+		b.labelBreak = make(map[string]*cfgBlock)
+		b.labelCont = make(map[string]*cfgBlock)
+	}
+	for _, label := range labels {
+		b.labelBreak[label] = brk
+		if cont != nil {
+			b.labelCont[label] = cont
+		}
+	}
 }
 
 func (b *cfgBuilder) newBlock() *cfgBlock {
@@ -118,6 +157,9 @@ func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt) *cfgBlock {
 		// own predecessor-less block so the dataflow treats it as top.
 		cur = b.newBlock()
 	}
+	// Labels bind only to the statement they prefix; anything that is
+	// not a loop or switch drops them (they stay goto targets only).
+	labels := b.takeLabels()
 	switch s := s.(type) {
 	case *ast.BlockStmt:
 		return b.stmtList(cur, s.List)
@@ -157,6 +199,7 @@ func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt) *cfgBlock {
 		if s.Cond != nil {
 			b.edge(header, exit)
 		}
+		b.registerLabels(labels, exit, header)
 		b.breakTargets = append(b.breakTargets, exit)
 		b.continueTargets = append(b.continueTargets, header)
 		bodyEnd := b.stmtList(bodyB, s.Body.List)
@@ -176,6 +219,7 @@ func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt) *cfgBlock {
 		b.edge(header, exit) // empty collection
 		bodyB := b.newBlock()
 		b.edge(header, bodyB)
+		b.registerLabels(labels, exit, header)
 		b.breakTargets = append(b.breakTargets, exit)
 		b.continueTargets = append(b.continueTargets, header)
 		bodyEnd := b.stmtList(bodyB, s.Body.List)
@@ -185,7 +229,7 @@ func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt) *cfgBlock {
 		return exit
 
 	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		return b.switchLike(cur, s)
+		return b.switchLike(cur, s, labels)
 
 	case *ast.ReturnStmt:
 		cur.nodes = append(cur.nodes, s)
@@ -195,14 +239,26 @@ func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt) *cfgBlock {
 	case *ast.BranchStmt:
 		switch s.Tok {
 		case token.BREAK:
-			if n := len(b.breakTargets); n > 0 {
+			if s.Label != nil {
+				if t, ok := b.labelBreak[s.Label.Name]; ok {
+					b.edge(cur, t)
+				} else {
+					b.edge(cur, b.cfg.exit)
+				}
+			} else if n := len(b.breakTargets); n > 0 {
 				b.edge(cur, b.breakTargets[n-1])
 			} else {
 				b.edge(cur, b.cfg.exit)
 			}
 			return nil
 		case token.CONTINUE:
-			if n := len(b.continueTargets); n > 0 {
+			if s.Label != nil {
+				if t, ok := b.labelCont[s.Label.Name]; ok {
+					b.edge(cur, t)
+				} else {
+					b.edge(cur, b.cfg.exit)
+				}
+			} else if n := len(b.continueTargets); n > 0 {
 				b.edge(cur, b.continueTargets[n-1])
 			} else {
 				b.edge(cur, b.cfg.exit)
@@ -216,7 +272,10 @@ func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt) *cfgBlock {
 		return cur
 
 	case *ast.LabeledStmt:
-		return b.stmt(cur, s.Stmt)
+		b.pendingLabels = append(labels, s.Label.Name)
+		out := b.stmt(cur, s.Stmt)
+		b.pendingLabels = nil
+		return out
 
 	default:
 		// Assignments, expression statements, declarations, defer, go,
@@ -227,11 +286,15 @@ func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt) *cfgBlock {
 }
 
 // switchLike lowers switch, type-switch and select: every clause
-// branches from the header and joins after; a missing default adds a
-// header→join edge; an explicit fallthrough adds clause→next-clause.
-func (b *cfgBuilder) switchLike(cur *cfgBlock, s ast.Stmt) *cfgBlock {
+// branches from the header and joins after; an explicit fallthrough
+// adds clause→next-clause. A switch missing a default adds a
+// header→join edge (no case may match); a select missing a default
+// does NOT — it blocks until a case fires, so control reaches the join
+// only through a clause body, and the empty `select{}` diverges.
+func (b *cfgBuilder) switchLike(cur *cfgBlock, s ast.Stmt, labels []string) *cfgBlock {
 	var clauses []ast.Stmt
 	hasDefault := false
+	isSelect := false
 	switch s := s.(type) {
 	case *ast.SwitchStmt:
 		if s.Init != nil {
@@ -249,8 +312,10 @@ func (b *cfgBuilder) switchLike(cur *cfgBlock, s ast.Stmt) *cfgBlock {
 		clauses = s.Body.List
 	case *ast.SelectStmt:
 		clauses = s.Body.List
+		isSelect = true
 	}
 	join := b.newBlock()
+	b.registerLabels(labels, join, nil)
 	b.breakTargets = append(b.breakTargets, join)
 	bodies := make([]*cfgBlock, len(clauses))
 	ends := make([]*cfgBlock, len(clauses))
@@ -293,7 +358,7 @@ func (b *cfgBuilder) switchLike(cur *cfgBlock, s ast.Stmt) *cfgBlock {
 			b.edge(end, bodies[i+1])
 		}
 	}
-	if !hasDefault {
+	if !hasDefault && !isSelect {
 		b.edge(cur, join)
 	}
 	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
@@ -326,7 +391,11 @@ func trimFallthrough(list []ast.Stmt) []ast.Stmt {
 // The returned visit function replays the converged analysis: it walks
 // every block's nodes in order, calling check(node, held) with the held
 // set in effect immediately before the node's own gen/kill apply.
-func (c *funcCFG) mustHeld(universe map[string]bool, genKill func(n ast.Node, held map[string]bool)) (visit func(check func(n ast.Node, held map[string]bool))) {
+// exitIn is the converged must-set at the function's exit block — the
+// facts guaranteed to hold when control falls off the end of the body
+// or leaves through any return (an unreachable exit reports the full
+// universe, so diverging functions yield no exit findings).
+func (c *funcCFG) mustHeld(universe map[string]bool, genKill func(n ast.Node, held map[string]bool)) (visit func(check func(n ast.Node, held map[string]bool)), exitIn map[string]bool) {
 	in := make(map[*cfgBlock]map[string]bool, len(c.blocks))
 	full := func() map[string]bool {
 		m := make(map[string]bool, len(universe))
@@ -393,7 +462,97 @@ func (c *funcCFG) mustHeld(universe map[string]bool, genKill func(n ast.Node, he
 				genKill(n, held)
 			}
 		}
+	}, in[c.exit]
+}
+
+// mayHold is the dual of mustHeld: a forward may-analysis where fact f
+// is in the result set at a node when SOME path from the entry has
+// generated f without a subsequent kill — joins union instead of
+// intersecting, and blocks start empty (unreachable code stays empty,
+// so dead code never produces findings). chandiscipline uses it for
+// "this channel may already be closed here".
+func (c *funcCFG) mayHold(genKill func(n ast.Node, facts map[string]bool)) (visit func(check func(n ast.Node, facts map[string]bool))) {
+	in := make(map[*cfgBlock]map[string]bool, len(c.blocks))
+	for _, blk := range c.blocks {
+		in[blk] = map[string]bool{}
 	}
+	preds := make(map[*cfgBlock][]*cfgBlock, len(c.blocks))
+	for _, blk := range c.blocks {
+		for _, s := range blk.succs {
+			preds[s] = append(preds[s], blk)
+		}
+	}
+	transfer := func(blk *cfgBlock) map[string]bool {
+		facts := make(map[string]bool, len(in[blk]))
+		for k := range in[blk] {
+			facts[k] = true
+		}
+		for _, n := range blk.nodes {
+			genKill(n, facts)
+		}
+		return facts
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range c.blocks {
+			if blk == c.entry {
+				continue
+			}
+			merged := map[string]bool{}
+			for _, p := range preds[blk] {
+				for k := range transfer(p) {
+					merged[k] = true
+				}
+			}
+			if !sameSet(in[blk], merged) {
+				in[blk] = merged
+				changed = true
+			}
+		}
+	}
+	return func(check func(n ast.Node, facts map[string]bool)) {
+		for _, blk := range c.blocks {
+			facts := make(map[string]bool, len(in[blk]))
+			for k := range in[blk] {
+				facts[k] = true
+			}
+			for _, n := range blk.nodes {
+				check(n, facts)
+				genKill(n, facts)
+			}
+		}
+	}
+}
+
+// exitReachable reports whether the function's exit block is reachable
+// from the entry, treating any block that diverges (per the predicate,
+// e.g. "this node calls a function that never returns") as a dead end.
+// It is the interprocedural tier's termination test: a goroutine body
+// whose exit is unreachable has no path that ever lets it finish.
+func (c *funcCFG) exitReachable(diverges func(n ast.Node) bool) bool {
+	seen := make(map[*cfgBlock]bool, len(c.blocks))
+	var walk func(blk *cfgBlock) bool
+	walk = func(blk *cfgBlock) bool {
+		if seen[blk] {
+			return false
+		}
+		seen[blk] = true
+		if blk == c.exit {
+			return true
+		}
+		for _, n := range blk.nodes {
+			if diverges != nil && diverges(n) {
+				return false
+			}
+		}
+		for _, s := range blk.succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(c.entry)
 }
 
 func sameSet(a, b map[string]bool) bool {

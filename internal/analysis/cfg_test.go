@@ -1,0 +1,214 @@
+package analysis
+
+// Edge-case coverage for the per-function CFG builder: labeled
+// break/continue, select with and without default, condition-less
+// loops, and deferred calls inside loops. These shapes are exactly the
+// ones the interprocedural termination check leans on, so each gets a
+// direct regression test rather than riding along in analyzer
+// fixtures.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody wraps src in a function and returns its parsed body.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", file, 0)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", src, err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+func TestExitReachableLoopAndSelectShapes(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		reachable bool
+	}{
+		{"plain for without condition", `for { }`, false},
+		{"for without condition with break", `for { break }`, true},
+		{"bounded for", `for i := 0; i < 10; i++ { }`, true},
+		{"range over channel", `var ch chan int; for v := range ch { _ = v }`, true},
+		{"labeled break leaves the outer loop", `
+outer:
+	for {
+		for {
+			break outer
+		}
+	}`, true},
+		{"unlabeled break only leaves the inner loop", `
+	for {
+		for {
+			break
+		}
+	}`, false},
+		{"labeled continue never exits", `
+outer:
+	for {
+		for {
+			continue outer
+		}
+	}`, false},
+		{"labeled break on a switch", `
+sw:
+	switch {
+	default:
+		for {
+			break sw
+		}
+	}`, true},
+		{"empty select blocks forever", `select { }`, false},
+		{"select with default falls through", `var ch chan int; select { case <-ch: default: }`, true},
+		{"select without default, case returns", `
+	var ch chan int
+	for {
+		select {
+		case <-ch:
+			return
+		}
+	}`, true},
+		{"select without default, every case loops", `
+	var ch chan int
+	for {
+		select {
+		case <-ch:
+		}
+	}`, false},
+		{"switch without default can skip every case", `
+	var c bool
+	for {
+		switch {
+		case c:
+		}
+		break
+	}`, true},
+		{"defer inside a loop is a plain leaf", `
+	var mu interface{ Unlock() }
+	for i := 0; i < 3; i++ {
+		defer mu.Unlock()
+	}`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := buildCFG(parseBody(t, tc.src))
+			if got := cfg.exitReachable(nil); got != tc.reachable {
+				t.Errorf("exitReachable = %v, want %v for:\n%s", got, tc.reachable, tc.src)
+			}
+		})
+	}
+}
+
+// TestMustHeldDeferredUnlockInsideLoop pins the lockorder semantics the
+// CFG feeds: a deferred Unlock registered inside the loop body does not
+// release the mutex for the rest of the iteration, so the access after
+// it still sees the lock held, on every path through the loop.
+func TestMustHeldDeferredUnlockInsideLoop(t *testing.T) {
+	body := parseBody(t, `
+	var x int
+	for i := 0; i < 3; i++ {
+		mu.Lock()
+		defer mu.Unlock()
+		x++
+	}
+	_ = x`)
+	cfg := buildCFG(body)
+	universe := map[string]bool{"mu": true}
+	genKill := func(n ast.Node, held map[string]bool) {
+		walkLeaf(n, true, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, acquire, ok := lockCall(call); ok {
+					if acquire {
+						held[key] = true
+					} else {
+						delete(held, key)
+					}
+				}
+			}
+			return true
+		})
+	}
+	visit, exitIn := cfg.mustHeld(universe, genKill)
+	sawInc := false
+	visit(func(n ast.Node, held map[string]bool) {
+		walkLeaf(n, false, func(n ast.Node) bool {
+			if _, ok := n.(*ast.IncDecStmt); ok {
+				sawInc = true
+				if !held["mu"] {
+					t.Errorf("x++ after `defer mu.Unlock()`: mu not held, but a deferred unlock must not release it mid-iteration")
+				}
+			}
+			return true
+		})
+	})
+	if !sawInc {
+		t.Fatal("never visited the x++ statement")
+	}
+	// The loop may execute zero times, so nothing is guaranteed held at
+	// exit (and the deferred unlocks have run by then anyway).
+	if exitIn["mu"] {
+		t.Errorf("mu must-held at exit, but the zero-iteration path never locks it")
+	}
+}
+
+// TestMayHoldVersusMustHeldAtJoin pins the join semantics the two
+// dataflow duals disagree on: a fact generated on one branch of an if
+// survives the join under may-analysis and dies under must-analysis.
+func TestMayHoldVersusMustHeldAtJoin(t *testing.T) {
+	body := parseBody(t, `
+	var c bool
+	if c {
+		gen()
+	}
+	after()`)
+	cfg := buildCFG(body)
+
+	isCallTo := func(n ast.Node, name string) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+	genKill := func(n ast.Node, facts map[string]bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if isCallTo(n, "gen") {
+				facts["f"] = true
+			}
+			return true
+		})
+	}
+
+	var mayAtAfter, mustAtAfter *bool
+	record := func(dst **bool) func(n ast.Node, facts map[string]bool) {
+		return func(n ast.Node, facts map[string]bool) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				if isCallTo(n, "after") {
+					v := facts["f"]
+					*dst = &v
+				}
+				return true
+			})
+		}
+	}
+	cfg.mayHold(genKill)(record(&mayAtAfter))
+	mustVisit, _ := cfg.mustHeld(map[string]bool{"f": true}, genKill)
+	mustVisit(record(&mustAtAfter))
+
+	if mayAtAfter == nil || mustAtAfter == nil {
+		t.Fatal("never visited the after() call")
+	}
+	if !*mayAtAfter {
+		t.Errorf("may-analysis lost the fact at the join: one branch generated it")
+	}
+	if *mustAtAfter {
+		t.Errorf("must-analysis kept the fact at the join: the other branch never generated it")
+	}
+}

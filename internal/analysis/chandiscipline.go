@@ -1,0 +1,315 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ChanDiscipline enforces channel send/close ownership, the discipline
+// "close only by the owning sender, and never race a send against a
+// close". Four rules, all per function body (declarations and each
+// function literal independently — a literal's channel context is its
+// own):
+//
+//   - send-after-close: a send reachable after a close of the same
+//     channel on SOME path (forward may-analysis) panics at runtime;
+//   - double close: a close reachable after a close of the same channel
+//     panics too;
+//   - close by a non-sender: a function that closes a data channel
+//     (element type other than struct{} — signal channels broadcast by
+//     closing and are exempt) it did not create and never sends on is
+//     not the owning sender; closing from the receive side races every
+//     sender;
+//   - send on an unbuffered channel created in the same function while
+//     a mutex is held (must-analysis): the send blocks until a receiver
+//     is ready, and a receiver that needs the same mutex deadlocks.
+//
+// Reassigning the channel variable (ch = make(...)) kills the closed
+// fact. Channels are tracked by expression identity (the printed
+// receiver, as lockorder does for mutexes), so p.ch and q.ch are
+// distinct.
+//
+// Test files are exempt: tests orchestrate channels in ways the
+// discipline intentionally forbids in library code (closing from the
+// consumer to unblock a helper, for instance).
+var ChanDiscipline = &Analyzer{
+	Name: "chandiscipline",
+	Doc: "no send or close after a close of the same channel on any path, no close " +
+		"of a data channel by a function that never sends on it, and no send on an " +
+		"unbuffered channel while holding a mutex",
+	Run: runChanDiscipline,
+}
+
+func runChanDiscipline(pass *Pass) error {
+	ti := pass.Types()
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkChanBody(pass, ti, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkChanBody(pass, ti, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// closeTarget decomposes a builtin close(ch) call.
+func closeTarget(ti *TypeInfo, call *ast.CallExpr) (ast.Expr, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return nil, false
+	}
+	if _, isBuiltin := ti.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// chanElemType resolves the element type of a channel expression, nil
+// when type information is missing.
+func chanElemType(ti *TypeInfo, ch ast.Expr) types.Type {
+	tv, ok := ti.Info.Types[ch]
+	if !ok {
+		return nil
+	}
+	c, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return nil
+	}
+	return c.Elem()
+}
+
+// isStructEmpty reports whether t is struct{} (the signal-channel
+// element type).
+func isStructEmpty(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Struct)
+	return ok && s.NumFields() == 0
+}
+
+// unbufferedMake reports whether rhs is make(chan T) with no capacity
+// or a literal zero capacity.
+func unbufferedMake(ti *TypeInfo, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, isBuiltin := ti.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	if _, isChan := chanTypeOfArg(ti, call.Args[0]); !isChan {
+		return false
+	}
+	if len(call.Args) == 1 {
+		return true
+	}
+	lit, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+func chanTypeOfArg(ti *TypeInfo, arg ast.Expr) (*types.Chan, bool) {
+	tv, ok := ti.Info.Types[arg]
+	if !ok {
+		return nil, false
+	}
+	c, ok := tv.Type.Underlying().(*types.Chan)
+	return c, ok
+}
+
+// chanBodyFacts is the per-body inventory one walk collects.
+type chanBodyFacts struct {
+	sends      map[string]bool // channel keys sent on
+	closes     map[string][]*ast.CallExpr
+	made       map[string]bool // channel keys created by make in this body
+	unbuffered map[string]bool // subset of made with no buffer
+}
+
+// collectChanFacts inventories the body, skipping nested literals.
+func collectChanFacts(ti *TypeInfo, body *ast.BlockStmt) chanBodyFacts {
+	facts := chanBodyFacts{
+		sends:      make(map[string]bool),
+		closes:     make(map[string][]*ast.CallExpr),
+		made:       make(map[string]bool),
+		unbuffered: make(map[string]bool),
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return n == nil // never; skip nested literals
+		case *ast.SendStmt:
+			facts.sends[types.ExprString(n.Chan)] = true
+		case *ast.CallExpr:
+			if ch, ok := closeTarget(ti, n); ok {
+				key := types.ExprString(ch)
+				facts.closes[key] = append(facts.closes[key], n)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if _, isChan := chanTypeOfArg(ti, rhs); !isChan {
+					continue
+				}
+				key := types.ExprString(n.Lhs[i])
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" {
+						facts.made[key] = true
+						if unbufferedMake(ti, rhs) {
+							facts.unbuffered[key] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return facts
+}
+
+func checkChanBody(pass *Pass, ti *TypeInfo, body *ast.BlockStmt) {
+	facts := collectChanFacts(ti, body)
+	if len(facts.closes) == 0 && len(facts.unbuffered) == 0 {
+		return
+	}
+
+	// Rule: close by a non-sender (whole-body, flow-insensitive).
+	for key, calls := range facts.closes {
+		if facts.sends[key] || facts.made[key] {
+			continue
+		}
+		for _, call := range calls {
+			elem := chanElemType(ti, call.Args[0])
+			if elem == nil || isStructEmpty(elem) {
+				continue // signal channel: closing IS the send
+			}
+			pass.Reportf(call.Pos(), "channel %s is closed here but this function never sends on it: "+
+				"close belongs to the owning sender (receive-side closes race every sender)", types.ExprString(call.Args[0]))
+		}
+	}
+
+	cfg := buildCFG(body)
+
+	// May-analysis: "closed:<key>" after a close, killed by remake.
+	if len(facts.closes) > 0 {
+		genKill := func(n ast.Node, fs map[string]bool) {
+			chanLeafWalk(n, func(n ast.Node) {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if ch, ok := closeTarget(ti, n); ok {
+						fs["closed:"+types.ExprString(ch)] = true
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						delete(fs, "closed:"+types.ExprString(lhs))
+					}
+				}
+			})
+		}
+		visit := cfg.mayHold(genKill)
+		visit(func(n ast.Node, fs map[string]bool) {
+			chanLeafWalk(n, func(n ast.Node) {
+				switch n := n.(type) {
+				case *ast.SendStmt:
+					key := types.ExprString(n.Chan)
+					if fs["closed:"+key] {
+						pass.Reportf(n.Pos(), "send on %s may follow close(%s): send on a closed channel panics", key, key)
+					}
+				case *ast.CallExpr:
+					if ch, ok := closeTarget(ti, n); ok {
+						key := types.ExprString(ch)
+						if fs["closed:"+key] {
+							pass.Reportf(n.Pos(), "%s may already be closed here: closing a closed channel panics", key)
+						}
+					}
+				}
+			})
+		})
+	}
+
+	// Must-analysis: mutexes held at sends on locally-made unbuffered
+	// channels.
+	if len(facts.unbuffered) > 0 {
+		universe := make(map[string]bool)
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, acquire, ok := lockCall(call); ok && acquire {
+					universe[key] = true
+				}
+			}
+			return true
+		})
+		if len(universe) > 0 {
+			genKill := func(n ast.Node, held map[string]bool) {
+				walkLeaf(n, true, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if key, acquire, ok := lockCall(call); ok {
+							if acquire {
+								held[key] = true
+							} else {
+								delete(held, key)
+							}
+						}
+					}
+					return true
+				})
+			}
+			visit, _ := cfg.mustHeld(universe, genKill)
+			visit(func(n ast.Node, held map[string]bool) {
+				if len(held) == 0 {
+					return
+				}
+				chanLeafWalk(n, func(n ast.Node) {
+					send, ok := n.(*ast.SendStmt)
+					if !ok {
+						return
+					}
+					key := types.ExprString(send.Chan)
+					if !facts.unbuffered[key] {
+						return
+					}
+					mus := make([]string, 0, len(held))
+					for mu := range held {
+						mus = append(mus, mu)
+					}
+					sort.Strings(mus)
+					pass.Reportf(send.Pos(), "send on unbuffered channel %s while holding %s blocks until a receiver is ready; "+
+						"a receiver needing the same mutex deadlocks — buffer the channel or release the lock first",
+						key, strings.Join(mus, ", "))
+				})
+			})
+		}
+	}
+}
+
+// chanLeafWalk visits a CFG leaf's nodes, skipping nested function
+// literals (their channel context is their own).
+func chanLeafWalk(n ast.Node, visit func(n ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

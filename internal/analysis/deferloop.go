@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// DeferLoop flags a defer statement inside a for or range loop: the
+// deferred calls do not run at the end of the iteration, they pile up
+// until the whole function returns. In the scan pipeline this is the
+// classic descriptor leak — deferring f.Close() inside the
+// per-chromosome loop keeps every FASTA handle open until the full
+// genome scan finishes. The fix is mechanical: move the loop body into
+// its own function (or an immediately-called literal) so the defer runs
+// per iteration.
+//
+// The check is per function: a literal's loops are its own, so a defer
+// inside `for { go func(){ defer wg.Done() }() }` is fine — the defer
+// belongs to the inner function, not the loop.
+//
+// Bounded loops that intentionally accumulate a handful of defers can
+// say so with //crisprlint:allow deferloop.
+var DeferLoop = &Analyzer{
+	Name: "deferloop",
+	Doc: "no defer inside a for/range loop: deferred calls accumulate until the " +
+		"function returns, not per iteration — hoist the loop body into a function",
+	Run: runDeferLoop,
+}
+
+func runDeferLoop(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkDeferLoop(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkDeferLoop(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDeferLoop(pass *Pass, body *ast.BlockStmt) {
+	loops := loopRanges(body)
+	if len(loops) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its loops and defers are its own
+		case *ast.DeferStmt:
+			if inAnyRange(loops, n.Pos()) {
+				pass.Reportf(n.Pos(), "defer inside a loop runs at function return, not per iteration: "+
+					"deferred calls accumulate across iterations — hoist the loop body into its own function")
+			}
+		}
+		return true
+	})
+}

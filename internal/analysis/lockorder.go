@@ -199,7 +199,7 @@ func checkLockOrder(pass *Pass, ti *TypeInfo, guards map[string]guardedField, fd
 			return true
 		})
 	}
-	visit := cfg.mustHeld(universe, genKill)
+	visit, _ := cfg.mustHeld(universe, genKill)
 	visit(func(n ast.Node, held map[string]bool) {
 		walkLeaf(n, false, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)

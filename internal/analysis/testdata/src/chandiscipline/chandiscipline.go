@@ -1,0 +1,95 @@
+// Package chandiscipline exercises the chandiscipline analyzer: no
+// send or close after a close on any path, close only by the owning
+// sender (signal channels exempt), and no send on a locally-made
+// unbuffered channel while a mutex is held.
+package chandiscipline
+
+import "sync"
+
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want `send on ch may follow close\(ch\)`
+}
+
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want `ch may already be closed here`
+}
+
+// maybeClosed: the close happens on one branch only, but a may-analysis
+// still catches the send below the join.
+func maybeClosed(c bool) {
+	ch := make(chan int, 1)
+	if c {
+		close(ch)
+	}
+	ch <- 1 // want `send on ch may follow close\(ch\)`
+}
+
+// remade: reassigning the variable kills the closed fact.
+func remade() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch = make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// closeByReceiver consumes the channel and then closes it: close
+// belongs to the sender.
+func closeByReceiver(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+	close(ch) // want `closed here but this function never sends on it`
+}
+
+// closeSignal: closing a struct{} channel IS the send — exempt.
+func closeSignal(done chan struct{}) {
+	close(done)
+}
+
+// produce owns the channel it made: sending and closing it is the
+// correct ownership pattern.
+func produce(xs []int) chan int {
+	ch := make(chan int, len(xs))
+	for _, x := range xs {
+		ch <- x
+	}
+	close(ch)
+	return ch
+}
+
+type box struct {
+	mu sync.Mutex
+}
+
+// lockedSend blocks on an unbuffered send while holding b.mu; a
+// receiver that needs b.mu deadlocks.
+func lockedSend(b *box) {
+	ch := make(chan int)
+	go func() { <-ch }()
+	b.mu.Lock()
+	ch <- 1 // want `send on unbuffered channel ch while holding b\.mu`
+	b.mu.Unlock()
+}
+
+// unlockedSend releases the mutex first.
+func unlockedSend(b *box) {
+	ch := make(chan int)
+	go func() { <-ch }()
+	b.mu.Lock()
+	b.mu.Unlock()
+	ch <- 1
+}
+
+// bufferedSend cannot block (capacity 1, one send).
+func bufferedSend(b *box) {
+	ch := make(chan int, 1)
+	b.mu.Lock()
+	ch <- 1
+	b.mu.Unlock()
+	<-ch
+}

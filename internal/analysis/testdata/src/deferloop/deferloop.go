@@ -1,0 +1,55 @@
+// Package deferloop exercises the deferloop analyzer: a defer inside a
+// for/range loop accumulates until function return; hoisting the loop
+// body into its own function scopes the defer to one iteration.
+package deferloop
+
+type res struct{}
+
+func (res) Close() error { return nil }
+
+func open(string) res { return res{} }
+
+// leak keeps every handle open until the whole function returns.
+func leak(paths []string) {
+	for _, p := range paths {
+		f := open(p)
+		defer f.Close() // want `defer inside a loop runs at function return`
+	}
+}
+
+// hoisted scopes each defer to its own immediately-invoked literal.
+func hoisted(paths []string) {
+	for _, p := range paths {
+		func() {
+			f := open(p)
+			defer f.Close()
+		}()
+	}
+}
+
+// topLevel defers outside any loop.
+func topLevel() {
+	f := open("x")
+	defer f.Close()
+}
+
+// inLit: the loop lives inside a function literal; the defer inside it
+// is still per-literal-invocation, not per-iteration.
+func inLit() {
+	go func() {
+		for i := 0; i < 3; i++ {
+			f := open("x")
+			defer f.Close() // want `defer inside a loop runs at function return`
+		}
+	}()
+}
+
+// goroutinePerIteration is the worker-pool idiom: the defer belongs to
+// the spawned function, not the loop.
+func goroutinePerIteration(paths []string, done func()) {
+	for range paths {
+		go func() {
+			defer done()
+		}()
+	}
+}

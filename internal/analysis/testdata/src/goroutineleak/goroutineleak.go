@@ -1,0 +1,110 @@
+// Package goroutineleak exercises the goroutineleak analyzer: every
+// `go` statement must spawn a goroutine whose CFG exit is reachable —
+// a select case that returns, a closeable range, a bounded loop, or a
+// labeled break all count; `for {}`, `select{}`, and loops whose every
+// select case loops again do not. Named callees are checked through
+// the call graph, transitively.
+package goroutineleak
+
+// work's goroutine has a stop-channel case: terminates.
+func work(ch chan int, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// drain ranges over a closeable channel: terminates when the producer
+// closes it.
+func drain(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// bounded loops have a condition edge out.
+func bounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = i
+		}
+	}()
+}
+
+// labeled break leaves the outer loop: terminates.
+func labeled(ch chan int) {
+	go func() {
+	outer:
+		for {
+			select {
+			case v := <-ch:
+				if v == 0 {
+					break outer
+				}
+			}
+		}
+	}()
+}
+
+func spinLit() {
+	go func() { // want `goroutine never terminates`
+		for {
+		}
+	}()
+}
+
+func blockForever() {
+	go func() { // want `goroutine never terminates`
+		select {}
+	}()
+}
+
+// caseLoops: the select has a case, but every case loops again and
+// nothing breaks out.
+func caseLoops(ch chan int) {
+	go func() { // want `goroutine never terminates`
+		for {
+			select {
+			case <-ch:
+			}
+		}
+	}()
+}
+
+// spin never returns; viaName spawns it by name.
+func spin() {
+	for {
+	}
+}
+
+func viaName() {
+	go spin() // want `goroutine runs internal/glfix\.spin, which never returns`
+}
+
+// spinTwice inherits NoReturn from its callee: the fact is transitive.
+func spinTwice() {
+	spin()
+}
+
+func viaTransitive() {
+	go spinTwice() // want `goroutine runs internal/glfix\.spinTwice, which never returns`
+}
+
+// returner terminates, so spawning it by name is fine.
+func returner(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+func viaNameClean(ch chan int) {
+	go returner(ch)
+}

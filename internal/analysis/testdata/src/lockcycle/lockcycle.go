@@ -1,0 +1,77 @@
+// Package lockcycle exercises the lockcycle analyzer: the module-wide
+// lock-order graph over canonical mutex identities must be acyclic,
+// with edges contributed both by direct nested acquisitions and by
+// calls to functions that acquire transitively.
+package lockcycle
+
+import "sync"
+
+var muA sync.Mutex
+var muB sync.Mutex
+
+// abOrder establishes A→B through a call: lockB acquires muB while
+// this function holds muA.
+func abOrder() {
+	muA.Lock()
+	lockB() // want `lock-order cycle: internal/lcfix\.muB is acquired here while internal/lcfix\.muA is held \(through the call to internal/lcfix\.lockB\)`
+	muA.Unlock()
+}
+
+func lockB() {
+	muB.Lock()
+	muB.Unlock()
+}
+
+// baOrder inverts the order directly: B held, A acquired.
+func baOrder() {
+	muB.Lock()
+	muA.Lock() // want `lock-order cycle: internal/lcfix\.muA is acquired here while internal/lcfix\.muB is held`
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// A second pair ordered consistently everywhere stays silent.
+var muC sync.Mutex
+var muD sync.Mutex
+
+func cdOrder() {
+	muC.Lock()
+	muD.Lock()
+	muD.Unlock()
+	muC.Unlock()
+}
+
+func cdAgain() {
+	muC.Lock()
+	lockD()
+	muC.Unlock()
+}
+
+func lockD() {
+	muD.Lock()
+	muD.Unlock()
+}
+
+// Local mutexes cannot be contended across functions and never join
+// the module graph.
+func locals() {
+	var a, b sync.Mutex
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}
+
+// releasedFirst provably drops muB before taking muA: the must-held
+// analysis contributes no B→A edge for it... but baOrder already did.
+// What it shows is that an acquisition with nothing held is silent.
+func releasedFirst() {
+	muB.Lock()
+	muB.Unlock()
+	muA.Lock()
+	muA.Unlock()
+}

@@ -1,0 +1,84 @@
+// Package waitsync exercises the waitsync analyzer: Add before the go
+// statement, Done reachable on every path of a goroutine that uses it,
+// and no Wait inside a goroutine that Dones the same group.
+package waitsync
+
+import "sync"
+
+func cond() bool { return false }
+
+// pool is the canonical shape: Add in the spawner, deferred Done first.
+func pool(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// addInside moves the Add into the goroutine: Wait may observe a zero
+// counter before the goroutine has run.
+func addInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want `wg\.Add inside the spawned goroutine races with wg\.Wait`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// skipDone returns early on one path without calling Done.
+func skipDone(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() { // want `goroutine calls wg\.Done but some path to its exit skips it`
+			if cond() {
+				return
+			}
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// selfWait waits on the group whose Done it still owes.
+func selfWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wg.Wait() // want `wg\.Wait inside a goroutine that calls wg\.Done waits on itself`
+	}()
+	wg.Wait()
+}
+
+// lateDefer registers the Done after a conditional return: the early
+// path skips it.
+func lateDefer() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine calls wg\.Done but some path to its exit skips it`
+		if cond() {
+			return
+		}
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// otherGroups: Wait on a different group is not a self-wait.
+func otherGroups() {
+	var outer, inner sync.WaitGroup
+	outer.Add(1)
+	inner.Add(1)
+	go func() { inner.Done() }()
+	go func() {
+		defer outer.Done()
+		inner.Wait()
+	}()
+	outer.Wait()
+}

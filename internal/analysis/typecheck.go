@@ -59,6 +59,11 @@ type typesState struct {
 	// built once on first demand (see atomicfield.go).
 	atomicOnce sync.Once
 	atomicIdx  map[string]atomicUse
+
+	// the interprocedural tier's call graph and memoized function
+	// facts, built once on first demand (see callgraph.go).
+	cgOnce sync.Once
+	cg     *callGraph
 }
 
 // typeState returns the Program's memoization cell, creating it on

@@ -23,12 +23,20 @@ import (
 //     (we expose none, so the empty list);
 //   - `crisprlint <pkg>.cfg` analyzes one package described by the JSON
 //     config the go command writes, prints findings to stderr, writes
-//     the (empty) facts file the protocol requires, and exits 2 when
-//     there are findings.
+//     the facts file the protocol requires, and exits 2 when there are
+//     findings.
 //
-// In this mode each package is analyzed in isolation, so enginereg's
-// cross-package re-export check is skipped; the standalone multichecker
-// (and CI) covers it.
+// The facts file (VetxOutput) carries the interprocedural tier's
+// serialized per-function summaries (see callgraph.go): NoReturn,
+// transitive mutex acquisitions, and lock-order edges. The go command
+// hands the dependencies' fact files back in PackageVetx, so
+// goroutineleak and lockcycle reach conclusions across package
+// boundaries even though each vet invocation sees one package.
+//
+// In this mode each package is still analyzed in isolation, so
+// enginereg's cross-package re-export check is skipped, and lock-order
+// edges between sibling packages that do not import each other stay
+// invisible; the standalone multichecker (and CI) covers both.
 
 // VetConfig mirrors the fields of the go command's vet config file that
 // the driver consumes. Unknown fields are ignored.
@@ -41,6 +49,7 @@ type VetConfig struct {
 	NonGoFiles                []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	ModulePath                string
 	VetxOnly                  bool
 	VetxOutput                string
@@ -87,17 +96,6 @@ func RunVetUnit(cfgPath string, w io.Writer) (int, error) {
 		return 0, fmt.Errorf("analysis: parsing vet config %s: %w", cfgPath, err)
 	}
 
-	// The facts file must exist even though we export no facts,
-	// otherwise the go command reports a cache failure.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return 0, fmt.Errorf("analysis: writing facts file: %w", err)
-		}
-	}
-	if cfg.VetxOnly {
-		return 0, nil
-	}
-
 	// ImportPath for test variants looks like "pkg [pkg.test]" or
 	// "pkg_test [pkg.test]"; strip the bracketed suffix for gating.
 	importPath := cfg.ImportPath
@@ -131,12 +129,31 @@ func RunVetUnit(cfgPath string, w io.Writer) (int, error) {
 		}
 	}
 	prog := &Program{
-		ModulePath: cfg.ModulePath,
-		Packages:   map[string]*Package{importPath: pkg},
+		ModulePath:   cfg.ModulePath,
+		Packages:     map[string]*Package{importPath: pkg},
+		VetFactFiles: cfg.PackageVetx,
 	}
 	if len(cfg.PackageFile) > 0 {
 		prog.VetImporter = exportDataImporter(fset, &cfg)
 	}
+
+	// The facts file must exist (the go command caches it and treats a
+	// missing file as a failure). Its payload is the interprocedural
+	// tier's per-function summary for this package; fact computation
+	// errors degrade to an empty file, never to a failed build.
+	if cfg.VetxOutput != "" {
+		facts, err := EncodeFacts(fset, prog, pkg)
+		if err != nil {
+			facts = []byte{}
+		}
+		if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
+			return 0, fmt.Errorf("analysis: writing facts file: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
 	diags, err := RunAnalyzers(fset, prog, All())
 	if err != nil {
 		return 0, err

@@ -1,0 +1,192 @@
+package analysis
+
+// Tests for the vet-protocol driver and the interprocedural tier's
+// fact serialization: EncodeFacts must round-trip through the .vetx
+// file into importedFact lookups (that is the only channel
+// cross-package conclusions survive per-package vet runs), and
+// RunVetUnit must both report findings and write a well-formed facts
+// file.
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// progFromSource builds a one-package Program from in-memory source.
+func progFromSource(t *testing.T, path, src string) (*token.FileSet, *Program, *Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, strings.ReplaceAll(path, "/", "_")+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg := &Package{Path: path, Name: f.Name.Name, Files: []*ast.File{f}}
+	prog := &Program{ModulePath: "example.com/m", Packages: map[string]*Package{path: pkg}}
+	return fset, prog, pkg
+}
+
+func TestFactsRoundTripThroughVetxFile(t *testing.T) {
+	const depSrc = `package dep
+
+import "sync"
+
+var MuA sync.Mutex
+var MuB sync.Mutex
+
+// Spin never returns.
+func Spin() {
+	for {
+	}
+}
+
+// Nested acquires MuB while holding MuA: a lock edge.
+func Nested() {
+	MuA.Lock()
+	MuB.Lock()
+	MuB.Unlock()
+	MuA.Unlock()
+}
+
+// Returns is an ordinary function: zero fact, omitted from the file.
+func Returns() {}
+`
+	fset, prog, pkg := progFromSource(t, "example.com/m/dep", depSrc)
+	data, err := EncodeFacts(fset, prog, pkg)
+	if err != nil {
+		t.Fatalf("EncodeFacts: %v", err)
+	}
+
+	// The wire shape is versioned JSON with only non-zero facts.
+	var pf PackageFacts
+	if err := json.Unmarshal(data, &pf); err != nil {
+		t.Fatalf("facts are not valid JSON: %v\n%s", err, data)
+	}
+	if pf.Version != factsVersion {
+		t.Errorf("facts version = %d, want %d", pf.Version, factsVersion)
+	}
+	if !pf.Funcs["example.com/m/dep.Spin"].NoReturn {
+		t.Errorf("Spin not marked NoReturn: %+v", pf.Funcs)
+	}
+	nested := pf.Funcs["example.com/m/dep.Nested"]
+	wantEdge := [2]string{"example.com/m/dep.MuA", "example.com/m/dep.MuB"}
+	if len(nested.LockEdges) != 1 || nested.LockEdges[0] != wantEdge {
+		t.Errorf("Nested.LockEdges = %v, want [%v]", nested.LockEdges, wantEdge)
+	}
+	if _, present := pf.Funcs["example.com/m/dep.Returns"]; present {
+		t.Errorf("zero fact for Returns serialized; the file should omit it")
+	}
+
+	// Round-trip: a consumer call graph that has no dep sources, only
+	// the fact file, must reach the same conclusions through
+	// importedFact.
+	vetx := filepath.Join(t.TempDir(), "dep.vetx")
+	if err := os.WriteFile(vetx, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	consumer := &callGraph{
+		nodes:     map[string]*cgNode{},
+		factFiles: map[string]string{"example.com/m/dep": vetx},
+		facts:     map[string]*PackageFacts{},
+	}
+	if !consumer.noReturnOf("example.com/m/dep.Spin") {
+		t.Errorf("noReturnOf(Spin) = false through the fact file, want true")
+	}
+	if consumer.noReturnOf("example.com/m/dep.Returns") {
+		t.Errorf("noReturnOf(Returns) = true through the fact file, want false")
+	}
+	acq := consumer.acquiresOf("example.com/m/dep.Nested")
+	if !acq["example.com/m/dep.MuA"] || !acq["example.com/m/dep.MuB"] {
+		t.Errorf("acquiresOf(Nested) = %v, want both mutexes", acq)
+	}
+	edges := consumer.moduleLockEdges()
+	found := false
+	for _, e := range edges {
+		if e.held == wantEdge[0] && e.acquired == wantEdge[1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("moduleLockEdges through the fact file = %v, want the MuA→MuB edge", edges)
+	}
+
+	// A corrupt or version-skewed file degrades to no facts, not noise.
+	if err := os.WriteFile(vetx, []byte(`{"version":999,"funcs":{}}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	stale := &callGraph{
+		nodes:     map[string]*cgNode{},
+		factFiles: map[string]string{"example.com/m/dep": vetx},
+		facts:     map[string]*PackageFacts{},
+	}
+	if stale.noReturnOf("example.com/m/dep.Spin") {
+		t.Errorf("version-skewed fact file was trusted")
+	}
+}
+
+// TestRunVetUnitWritesFactsAndReports drives the whole vet-protocol
+// entry point on a synthetic config: findings go to the writer, the
+// exit count reflects them, and the VetxOutput file carries the
+// package's serialized facts.
+func TestRunVetUnitWritesFactsAndReports(t *testing.T) {
+	dir := t.TempDir()
+	src := `package leaky
+
+func spin() {
+	for {
+	}
+}
+
+func launch() {
+	go spin()
+}
+`
+	srcPath := filepath.Join(dir, "leaky.go")
+	if err := os.WriteFile(srcPath, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "leaky.vetx")
+	cfg := VetConfig{
+		ID:         "example.com/m/leaky",
+		Dir:        dir,
+		ImportPath: "example.com/m/leaky",
+		GoFiles:    []string{srcPath},
+		ModulePath: "example.com/m",
+		VetxOutput: vetx,
+	}
+	cfgData, err := json.Marshal(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "leaky.cfg")
+	if err := os.WriteFile(cfgPath, cfgData, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	n, err := RunVetUnit(cfgPath, &out)
+	if err != nil {
+		t.Fatalf("RunVetUnit: %v", err)
+	}
+	if n == 0 || !strings.Contains(out.String(), "goroutineleak") {
+		t.Errorf("expected a goroutineleak finding, got %d finding(s):\n%s", n, out.String())
+	}
+
+	data, err := os.ReadFile(vetx)
+	if err != nil {
+		t.Fatalf("facts file not written: %v", err)
+	}
+	var pf PackageFacts
+	if err := json.Unmarshal(data, &pf); err != nil {
+		t.Fatalf("facts file is not valid JSON: %v\n%s", err, data)
+	}
+	if !pf.Funcs["example.com/m/leaky.spin"].NoReturn {
+		t.Errorf("spin not marked NoReturn in the facts file: %+v", pf.Funcs)
+	}
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WaitSync enforces the sync.WaitGroup protocol around goroutine
+// pools:
+//
+//   - Add before go: wg.Add inside a go-spawned function literal races
+//     with the matching wg.Wait — the counter may still be zero when
+//     Wait runs, so Wait returns before the pool has even started. The
+//     Add must execute in the spawning goroutine, before the `go`
+//     statement.
+//   - Done on every path: a spawned goroutine that calls wg.Done must
+//     reach a Done (deferred or direct) on every control path to its
+//     exit; a path that returns early without Done leaves Wait blocked
+//     forever. Checked as a forward must-analysis over the body's CFG
+//     (a `defer wg.Done()` generates the fact at its registration
+//     point, matching runtime semantics: every return after the defer
+//     statement runs it, a return before it does not).
+//   - No self-wait: wg.Wait inside a goroutine that also calls wg.Done
+//     on the same group waits on itself — the count can never reach
+//     zero while the waiter's own Done is still pending.
+//
+// WaitGroups are recognized by type (sync.WaitGroup, by value or
+// pointer) and tracked by printed receiver expression, the same
+// identity scheme lockorder uses for mutexes.
+//
+// Test files are exempt: table-driven tests wrap Add/Done in helpers
+// that this per-body analysis cannot follow.
+var WaitSync = &Analyzer{
+	Name: "waitsync",
+	Doc: "sync.WaitGroup discipline: Add before the go statement (never inside the " +
+		"spawned goroutine), Done reachable on every path of a goroutine that uses it, " +
+		"and no Wait inside a goroutine that Dones the same group",
+	Run: runWaitSync,
+}
+
+// waitCall decomposes call as a wg.Add/Done/Wait method call on a
+// sync.WaitGroup receiver. key is the printed receiver expression.
+func waitCall(ti *TypeInfo, call *ast.CallExpr) (key, kind string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Add", "Done", "Wait":
+		kind = sel.Sel.Name
+	default:
+		return "", "", false
+	}
+	tv, found := ti.Info.Types[sel.X]
+	if !found {
+		return "", "", false
+	}
+	t := tv.Type
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "WaitGroup" || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), kind, true
+}
+
+func runWaitSync(pass *Pass) error {
+	ti := pass.Types()
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutineWaitSync(pass, ti, lit.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoroutineWaitSync applies all three rules to one go-spawned
+// function literal body. Nested literals are skipped (their WaitGroup
+// context is their own; nested `go` statements are found by the outer
+// Inspect).
+func checkGoroutineWaitSync(pass *Pass, ti *TypeInfo, body *ast.BlockStmt) {
+	// Inventory: which groups are Added, Done'd, Waited inside the body.
+	dones := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, kind, ok := waitCall(ti, call)
+		if !ok {
+			return true
+		}
+		switch kind {
+		case "Add":
+			pass.Reportf(call.Pos(), "%s.Add inside the spawned goroutine races with %s.Wait: "+
+				"the counter may still be zero when Wait runs — call Add before the go statement", key, key)
+		case "Done":
+			dones[key] = true
+		}
+		return true
+	})
+	// Self-wait: Wait on a group this same goroutine Dones.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, kind, ok := waitCall(ti, call); ok && kind == "Wait" && dones[key] {
+			pass.Reportf(call.Pos(), "%s.Wait inside a goroutine that calls %s.Done waits on itself: "+
+				"the counter cannot reach zero while this goroutine's own Done is pending", key, key)
+		}
+		return true
+	})
+	if len(dones) == 0 {
+		return
+	}
+	// Done on every path: must-analysis with facts "done:<key>".
+	universe := make(map[string]bool)
+	for key := range dones {
+		universe["done:"+key] = true
+	}
+	cfg := buildCFG(body)
+	genKill := func(n ast.Node, have map[string]bool) {
+		// Deferred Done counts as gen at its registration point, so
+		// walkLeaf must NOT skip defers here.
+		walkLeaf(n, false, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, kind, ok := waitCall(ti, call); ok && kind == "Done" {
+					have["done:"+key] = true
+				}
+			}
+			return true
+		})
+	}
+	_, exitIn := cfg.mustHeld(universe, genKill)
+	for key := range dones {
+		if !exitIn["done:"+key] {
+			pass.Reportf(body.Pos(), "goroutine calls %s.Done but some path to its exit skips it, leaving %s.Wait "+
+				"blocked forever: defer the Done as the first statement", key, key)
+		}
+	}
+}
