@@ -104,23 +104,43 @@ func (r *scanRegistry) collect() (merged *metrics.Snapshot, scans []*scanState, 
 	return r.agg.MergedWith(liveSnaps...), scans, r.started, r.completed
 }
 
+// adminHooks lets a host mode (the scan service) extend the admin
+// endpoint: a readiness predicate, extra /metrics families, and extra
+// route mounts. A nil hooks (or nil field) keeps the one-shot scan
+// behavior.
+type adminHooks struct {
+	// ready overrides /readyz. The one-shot CLI default ("a scan has
+	// started") is wrong for a daemon that simply has not received work
+	// yet; serve mode supplies "initialized and accepting jobs".
+	ready func() (ok bool, reason string)
+	// metrics appends families to /metrics after the scan families.
+	metrics func(e *metrics.PromEncoder)
+	// mount adds handlers by pattern (e.g. "/v1/" → the job API).
+	mount map[string]http.Handler
+}
+
 // adminServer serves the operational endpoints for a running scan:
 // /metrics (Prometheus text 0.0.4), /healthz, /readyz, /debug/scans
 // (JSON progress), and the standard /debug/pprof handlers.
 type adminServer struct {
-	reg *scanRegistry
-	ln  net.Listener
-	srv *http.Server
+	reg   *scanRegistry
+	hooks adminHooks
+	ln    net.Listener
+	srv   *http.Server
 }
 
 // newAdminServer binds addr immediately (so a bad -http fails before
-// any work starts) and serves in the background until Close.
-func newAdminServer(addr string, reg *scanRegistry, logger *slog.Logger) (*adminServer, error) {
+// any work starts) and serves in the background until Close. hooks may
+// be nil (one-shot scan mode).
+func newAdminServer(addr string, reg *scanRegistry, logger *slog.Logger, hooks *adminHooks) (*adminServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	a := &adminServer{reg: reg, ln: ln}
+	if hooks != nil {
+		a.hooks = *hooks
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", a.handleMetrics)
 	mux.HandleFunc("/healthz", a.handleHealthz)
@@ -131,6 +151,9 @@ func newAdminServer(addr string, reg *scanRegistry, logger *slog.Logger) (*admin
 	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	for pattern, h := range a.hooks.mount {
+		mux.Handle(pattern, h)
+	}
 	a.srv = &http.Server{Handler: mux}
 	go func() {
 		if serr := a.srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
@@ -170,6 +193,9 @@ func (a *adminServer) handleMetrics(w http.ResponseWriter, req *http.Request) {
 			{Name: "engine", Value: st.Engine},
 		})
 	}
+	if a.hooks.metrics != nil {
+		a.hooks.metrics(e)
+	}
 	// Encoder errors here are client disconnects or a programming error
 	// (duplicate family); neither should disturb the scan.
 	_ = e.Err()
@@ -191,10 +217,19 @@ func (a *adminServer) handleHealthz(w http.ResponseWriter, req *http.Request) {
 }
 
 func (a *adminServer) handleReadyz(w http.ResponseWriter, req *http.Request) {
-	_, _, started, _ := a.reg.collect()
-	if started == 0 {
-		http.Error(w, "no scan started yet", http.StatusServiceUnavailable)
-		return
+	if a.hooks.ready != nil {
+		if ok, reason := a.hooks.ready(); !ok {
+			http.Error(w, reason, http.StatusServiceUnavailable)
+			return
+		}
+	} else {
+		// One-shot scan mode: ready once the scan this process was
+		// launched for has started.
+		_, _, started, _ := a.reg.collect()
+		if started == 0 {
+			http.Error(w, "no scan started yet", http.StatusServiceUnavailable)
+			return
+		}
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = w.Write([]byte("ok\n"))

@@ -99,7 +99,7 @@ func TestAdminScrapeDuringLiveScan(t *testing.T) {
 	genomePath, _, guides := cliFixture(t, 811)
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 	reg := newScanRegistry()
-	adm, err := newAdminServer("127.0.0.1:0", reg, logger)
+	adm, err := newAdminServer("127.0.0.1:0", reg, logger, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 //	offtarget -genome genome.fa -guides guides.txt -engine ap -stats
 //	offtarget -genome hg.fa -guides g.txt -stream -checkpoint scan.ckpt -o sites.tsv
 //	offtarget -genome genome.fa -guides guides.txt -trace scan.json -http localhost:6060
+//	offtarget -serve -serve-dir jobs/ -genome genome.fa -http localhost:6060
 //	offtarget -version
 //
 // The guides file holds one spacer per line, optionally preceded by a
@@ -29,6 +30,13 @@
 // -checkpoint, an interrupted run resumed with identical arguments
 // appends exactly the missing chromosomes, so the final output equals
 // an uninterrupted run's byte for byte.
+//
+// With -serve, offtarget runs as a long-lived multi-tenant scan
+// service instead: jobs are submitted to POST /v1/jobs on the -http
+// address, run on a bounded worker pool with per-tenant admission
+// quotas, persist their state and checkpointed output under
+// -serve-dir (a killed service resumes interrupted jobs on restart,
+// byte-identically), and SIGTERM drains gracefully with exit 0.
 package main
 
 import (
@@ -78,6 +86,16 @@ type config struct {
 	httpLinger time.Duration
 	logFormat  string
 	logLevel   string
+
+	serve           bool
+	serveDir        string
+	serveGenomeDir  string
+	serveWorkers    int
+	serveQueue      int
+	serveQuotaRate  float64
+	serveQuotaBurst int
+	serveRetries    int
+	serveDrain      time.Duration
 
 	log     *slog.Logger      // defaults to slog.Default()
 	onAdmin func(addr string) // test hook: observes the bound -http address
@@ -160,6 +178,15 @@ func main() {
 	flag.DurationVar(&cfg.httpLinger, "http-linger", 0, "keep the -http endpoint up this long after the scan completes")
 	flag.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text or json")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
+	flag.BoolVar(&cfg.serve, "serve", false, "run the multi-tenant scan service (job API under /v1/ on -http) instead of a one-shot scan")
+	flag.StringVar(&cfg.serveDir, "serve-dir", "", "durable job-state directory for -serve (required with -serve)")
+	flag.StringVar(&cfg.serveGenomeDir, "serve-genome-dir", "", "directory jobs may name genomes from (relative paths); with -genome as the default reference")
+	flag.IntVar(&cfg.serveWorkers, "serve-workers", 2, "concurrent jobs the service runs")
+	flag.IntVar(&cfg.serveQueue, "serve-queue", 64, "queued jobs before submissions are shed with 429")
+	flag.Float64Var(&cfg.serveQuotaRate, "serve-quota-rate", 1, "per-tenant sustained submissions per second (0 disables quotas)")
+	flag.IntVar(&cfg.serveQuotaBurst, "serve-quota-burst", 8, "per-tenant submission burst size")
+	flag.IntVar(&cfg.serveRetries, "serve-retries", 3, "transient-failure retries per job")
+	flag.DurationVar(&cfg.serveDrain, "serve-drain", 30*time.Second, "grace window for in-flight jobs on SIGTERM before they are checkpointed for resume")
 	flag.BoolVar(&showVersion, "version", false, "print version information and exit")
 	flag.Parse()
 
@@ -189,6 +216,9 @@ func main() {
 // cancellation) still delivers every row produced so far and still
 // reports flush/close failures instead of silently truncating -o.
 func run(ctx context.Context, cfg *config) (err error) {
+	if cfg.serve {
+		return runServe(ctx, cfg)
+	}
 	if cfg.genomePath == "" {
 		return fmt.Errorf("missing -genome")
 	}
@@ -207,7 +237,7 @@ func run(ctx context.Context, cfg *config) (err error) {
 		if cfg.reg == nil {
 			cfg.reg = newScanRegistry()
 		}
-		adm, err = newAdminServer(cfg.httpAddr, cfg.reg, logger)
+		adm, err = newAdminServer(cfg.httpAddr, cfg.reg, logger, nil)
 		if err != nil {
 			return fmt.Errorf("admin endpoint: %w", err)
 		}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServe launches runServe on an ephemeral port and returns the
+// base URL, a cancel that triggers graceful drain, and the exit
+// channel.
+func startServe(t *testing.T, cfg *config) (base string, stop context.CancelFunc, done chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	cfg.onAdmin = func(addr string) { addrCh <- addr }
+	if cfg.log == nil {
+		cfg.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	done = make(chan error, 1)
+	go func() { done <- runServe(ctx, cfg) }()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, cancel, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("runServe exited during startup: %v", err)
+		return "", nil, nil
+	}
+}
+
+// TestServeEndToEnd drives the daemon the way an operator would: check
+// readiness before any job exists, submit over HTTP, poll to
+// completion, download the artifact, scrape metrics, then SIGTERM
+// (context cancel) and require a clean exit.
+func TestServeEndToEnd(t *testing.T) {
+	genomePath, guidesPath, _ := cliFixture(t, 907)
+	_ = guidesPath
+	cfg := &config{
+		genomePath: genomePath,
+		httpAddr:   "127.0.0.1:0",
+		serve:      true,
+		serveDir:   t.TempDir(),
+		engineName: "hyperscan",
+		serveDrain: 5 * time.Second,
+		timeout:    0,
+	}
+	base, stop, done := startServe(t, cfg)
+	defer stop()
+
+	// The daemon readiness fix: ready as soon as the service accepts
+	// jobs — NOT "after the first scan", which for a fresh daemon with
+	// no work would hold /readyz at 503 forever and keep it out of load
+	// balancers.
+	rr, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz before first job = %d, want 200 in serve mode", rr.StatusCode)
+	}
+
+	spec := map[string]any{
+		"guides": []map[string]string{{"name": "g0", "spacer": "ACGTACGTACGTACGTACGT"}},
+		"k":      2,
+	}
+	body, _ := json.Marshal(spec)
+	sr, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if sr.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(sr.Body)
+		sr.Body.Close()
+		t.Fatalf("submit = %d: %s", sr.StatusCode, msg)
+	}
+	if err := json.NewDecoder(sr.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	sr.Body.Close()
+
+	deadline := time.NewTimer(30 * time.Second)
+	defer deadline.Stop()
+	for job.State != "done" && job.State != "failed" && job.State != "cancelled" {
+		select {
+		case <-deadline.C:
+			t.Fatalf("job stuck in %s", job.State)
+		case <-time.After(10 * time.Millisecond):
+		}
+		pr, err := http.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(pr.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		pr.Body.Close()
+	}
+	if job.State != "done" {
+		t.Fatalf("job = %s (err %q), want done", job.State, job.Error)
+	}
+
+	or, err := http.Get(base + "/v1/jobs/" + job.ID + "/output")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(or.Body)
+	or.Body.Close()
+	if or.StatusCode != http.StatusOK || !strings.HasPrefix(string(out), "guide") {
+		t.Fatalf("output = %d, %d bytes (want the TSV header)", or.StatusCode, len(out))
+	}
+
+	// The admin endpoint must expose the service families alongside the
+	// per-scan ones.
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtext, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	for _, family := range []string{
+		"crisprscan_jobs_submitted_total 1",
+		`crisprscan_jobs_finished_total{state="done"} 1`,
+		"crisprscan_jobs_queued 0",
+		"crisprscan_service_accepting 1",
+		"crisprscan_scans_completed_total 1", // the job registered as a scan
+	} {
+		if !strings.Contains(string(mtext), family) {
+			t.Fatalf("/metrics missing %q:\n%s", family, mtext)
+		}
+	}
+
+	// Graceful shutdown: cancel (the SIGTERM path) and require exit 0
+	// (nil error) within the drain budget.
+	stop()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runServe = %v, want nil (exit 0) on graceful drain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("runServe did not exit after shutdown signal")
+	}
+}
+
+func TestServeFlagValidation(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	if err := runServe(context.Background(), &config{log: logger, serveDir: "x"}); err == nil || !strings.Contains(err.Error(), "-http") {
+		t.Fatalf("missing -http err = %v", err)
+	}
+	if err := runServe(context.Background(), &config{log: logger, httpAddr: "127.0.0.1:0"}); err == nil || !strings.Contains(err.Error(), "-serve-dir") {
+		t.Fatalf("missing -serve-dir err = %v", err)
+	}
+	// Neither a default genome nor a genome dir: the service cannot run
+	// any job, so startup must fail loudly rather than accept doomed
+	// work.
+	err := runServe(context.Background(), &config{log: logger, httpAddr: "127.0.0.1:0", serveDir: t.TempDir()})
+	if err == nil || !strings.Contains(err.Error(), "genome") {
+		t.Fatalf("missing genome config err = %v", err)
+	}
+}

@@ -372,6 +372,22 @@ func SearchStreamContext(ctx context.Context, r io.Reader, guides []Guide, p Par
 	return core.SearchStreamContext(ctx, r, pats, coreParams(p), ctrl, yield)
 }
 
+// SearchGenomeStreamContext runs the streaming-shaped search over an
+// already-loaded genome: chromosomes are visited in genome order
+// through the identical per-chromosome pipeline as SearchStreamContext,
+// so the two produce byte-identical output for the same reference. A
+// long-lived service uses it to keep one parsed genome resident and
+// share it across concurrent (checkpointed) scans instead of re-reading
+// multi-gigabyte FASTA per request.
+func SearchGenomeStreamContext(ctx context.Context, g *Genome, guides []Guide, p Params, ctrl *StreamControl, yield func(Site) error) (*Stats, error) {
+	pats, err := parseGuides(guides)
+	if err != nil {
+		return nil, err
+	}
+	p.Region = "" // regions apply to in-memory Search only
+	return core.SearchGenomeStreamContext(ctx, g, pats, coreParams(p), ctrl, yield)
+}
+
 // FingerprintParams renders the checkpoint identity of a (guides,
 // params) combination: every knob that changes the produced site set
 // participates, so two searches fingerprint equal exactly when their

@@ -228,15 +228,28 @@ func ChunkScan(ctx context.Context, label string, workers, total, chunkSize int,
 	return out, nil
 }
 
-// runChunk executes one chunk under a panic guard.
-func runChunk(label string, idx, lo, hi int, rec *metrics.Recorder, scan func(lo, hi int, out *[]automata.Report) error, out *[]automata.Report) (err error) {
+// Recovered runs fn under the module's one panic guard: a panic inside
+// fn is counted in rec (CounterPanicsRecovered) and converted to the
+// error wrap builds from the recovered value, so a scan bug degrades to
+// an error instead of a process crash. ChunkScan routes every worker
+// chunk through it; the scan service reuses it for whole-job isolation.
+func Recovered(rec *metrics.Recorder, wrap func(r any) error, fn func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			rec.Add(metrics.CounterPanicsRecovered, 1)
-			err = fmt.Errorf("arch: %s: worker panic on chunk %d [%d:%d): %v", label, idx, lo, hi, r)
+			err = wrap(r)
 		}
 	}()
-	return scan(lo, hi, out)
+	return fn()
+}
+
+// runChunk executes one chunk under the shared panic guard.
+func runChunk(label string, idx, lo, hi int, rec *metrics.Recorder, scan func(lo, hi int, out *[]automata.Report) error, out *[]automata.Report) error {
+	return Recovered(rec, func(r any) error {
+		return fmt.Errorf("arch: %s: worker panic on chunk %d [%d:%d): %v", label, idx, lo, hi, r)
+	}, func() error {
+		return scan(lo, hi, out)
+	})
 }
 
 // firstScanError picks the error to surface from a pool run: a real

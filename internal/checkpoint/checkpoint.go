@@ -35,6 +35,14 @@ type Entry struct {
 	// ScannedBases is the cumulative reference bases scanned through the
 	// end of this chromosome (the Stats.BytesScanned watermark).
 	ScannedBases int64 `json:"scanned_bases"`
+	// OutBytes is the cumulative size of the caller's output artifact
+	// after this chromosome's rows were durably flushed, when the caller
+	// tracks one (0 otherwise). A resuming caller truncates its output
+	// to the last committed watermark before appending, which turns the
+	// journal's at-least-once delivery into exactly-once bytes: a crash
+	// between output flush and Commit re-emits the chromosome into the
+	// truncated file instead of duplicating it.
+	OutBytes int64 `json:"out_bytes,omitempty"`
 }
 
 // journalFile is the on-disk JSON shape.
@@ -129,6 +137,15 @@ func Probe(path string) (chroms, sites int, err error) {
 // complete.
 func (j *Journal) Done(chrom string) bool { return j.done[chrom] }
 
+// OutBytes returns the last committed output-size watermark (see
+// Entry.OutBytes), or 0 for an empty journal.
+func (j *Journal) OutBytes() int64 {
+	if n := len(j.file.Entries); n > 0 {
+		return j.file.Entries[n-1].OutBytes
+	}
+	return 0
+}
+
 // Chroms returns the number of journaled chromosomes.
 func (j *Journal) Chroms() int { return len(j.file.Entries) }
 
@@ -157,8 +174,9 @@ func (j *Journal) Commit(e Entry) error {
 	return atomicWrite(j.path, data)
 }
 
-// atomicWrite replaces path with data via a same-directory temp file
-// and rename, so readers never observe a torn journal.
+// atomicWrite replaces path with data via a same-directory temp file,
+// rename, and a directory sync, so readers never observe a torn journal
+// and the installed file survives power loss.
 func atomicWrite(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
@@ -186,7 +204,37 @@ func atomicWrite(path string, data []byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: installing journal: %w", err)
 	}
+	// The rename installed the new name in the directory, but that
+	// directory entry itself lives in the parent directory's data: until
+	// the directory is synced, a power loss can roll the rename back and
+	// resurrect the previous journal — or, for a first write, no journal
+	// at all. fsync the parent so a committed entry is really committed.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("checkpoint: syncing journal directory: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory; swappable so tests can both count the
+// calls (proving every commit path reaches it) and simulate failure.
+var syncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// AtomicWriteFile exposes the journal's crash-safe write primitive
+// (temp file, fsync, rename, directory fsync) for other durable
+// artifacts — the scan service persists its job records through it.
+func AtomicWriteFile(path string, data []byte) error {
+	return atomicWrite(path, data)
 }
 
 // CanonicalFields builds the fingerprint field list for a search: the

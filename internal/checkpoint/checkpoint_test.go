@@ -153,3 +153,111 @@ func TestFingerprintSensitivity(t *testing.T) {
 		t.Fatal("field boundaries must be unambiguous")
 	}
 }
+
+func TestCommitSyncsJournalDirectory(t *testing.T) {
+	// Crash durability: the rename that installs a journal is not
+	// durable until the parent directory is fsynced, so every Commit
+	// must reach the directory-sync path. Count calls through the
+	// swappable hook while keeping the real sync behavior.
+	realSync := syncDir
+	defer func() { syncDir = realSync }()
+	var syncs int
+	var lastDir string
+	syncDir = func(dir string) error {
+		syncs++
+		lastDir = dir
+		return realSync(dir)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scan.ckpt")
+	j, err := Open(path, Fingerprint("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Commit(Entry{Chrom: "chr1", Sites: 2, ScannedBases: 100, OutBytes: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if syncs != 1 {
+		t.Fatalf("Commit performed %d directory syncs, want exactly 1", syncs)
+	}
+	if lastDir != dir {
+		t.Fatalf("Commit synced %q, want the journal's parent %q", lastDir, dir)
+	}
+	if err := j.Commit(Entry{Chrom: "chr2", Sites: 0, ScannedBases: 200, OutBytes: 96}); err != nil {
+		t.Fatal(err)
+	}
+	if syncs != 2 {
+		t.Fatalf("two Commits performed %d directory syncs, want 2", syncs)
+	}
+}
+
+func TestCommitSurfacesDirectorySyncFailure(t *testing.T) {
+	realSync := syncDir
+	defer func() { syncDir = realSync }()
+	injected := os.ErrPermission
+	syncDir = func(dir string) error { return injected }
+
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	j, err := Open(path, Fingerprint("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = j.Commit(Entry{Chrom: "chr1"})
+	if err == nil || !strings.Contains(err.Error(), "syncing journal directory") {
+		t.Fatalf("Commit with failing directory sync returned %v, want a directory-sync error", err)
+	}
+}
+
+func TestOutBytesWatermarkRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	fp := Fingerprint("a")
+	j, err := Open(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.OutBytes() != 0 {
+		t.Fatalf("empty journal OutBytes = %d, want 0", j.OutBytes())
+	}
+	if err := j.Commit(Entry{Chrom: "chr1", OutBytes: 128}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Commit(Entry{Chrom: "chr2", OutBytes: 321}); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.OutBytes() != 321 {
+		t.Fatalf("reloaded OutBytes = %d, want the last committed watermark 321", j2.OutBytes())
+	}
+}
+
+func TestAtomicWriteFileInstallsAndSyncs(t *testing.T) {
+	realSync := syncDir
+	defer func() { syncDir = realSync }()
+	syncs := 0
+	syncDir = func(dir string) error {
+		syncs++
+		return realSync(dir)
+	}
+
+	path := filepath.Join(t.TempDir(), "job.json")
+	if err := AtomicWriteFile(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "two" {
+		t.Fatalf("AtomicWriteFile left %q, want the last write", data)
+	}
+	if syncs != 2 {
+		t.Fatalf("AtomicWriteFile performed %d directory syncs, want 2", syncs)
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -82,3 +84,103 @@ func TestSearchStreamErrors(t *testing.T) {
 
 // PlantPlanLite returns a small default plant plan for stream tests.
 func PlantPlanLite() map[int]int { return map[int]int{0: 1, 2: 2} }
+
+func TestSearchGenomeStreamMatchesFileStream(t *testing.T) {
+	g, guides, _ := plantedFixture(t, 504, 4, 80000, PlantPlanLite())
+	var buf bytes.Buffer
+	w := fasta.NewWriter(&buf, 0)
+	for _, rec := range g.ToFasta() {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	type chromDone struct {
+		name  string
+		sites int
+		bases int64
+	}
+	collect := func(run func(ctrl *StreamControl, yield func(report.Site) error) (*Stats, error)) ([]report.Site, []chromDone, *Stats) {
+		t.Helper()
+		var sites []report.Site
+		var dones []chromDone
+		ctrl := &StreamControl{ChromDone: func(name string, n int, bases int64) error {
+			dones = append(dones, chromDone{name, n, bases})
+			return nil
+		}}
+		stats, err := run(ctrl, func(s report.Site) error {
+			sites = append(sites, s)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sites, dones, stats
+	}
+
+	p := Params{MaxMismatches: 2}
+	fromFile, fileDones, fileStats := collect(func(ctrl *StreamControl, yield func(report.Site) error) (*Stats, error) {
+		return SearchStreamContext(context.Background(), bytes.NewReader(buf.Bytes()), guides, p, ctrl, yield)
+	})
+	fromGenome, genomeDones, genomeStats := collect(func(ctrl *StreamControl, yield func(report.Site) error) (*Stats, error) {
+		return SearchGenomeStreamContext(context.Background(), g, guides, p, ctrl, yield)
+	})
+
+	if len(fromGenome) != len(fromFile) {
+		t.Fatalf("genome driver yielded %d sites, file driver %d", len(fromGenome), len(fromFile))
+	}
+	for i := range fromGenome {
+		if fromGenome[i] != fromFile[i] {
+			t.Fatalf("site %d differs: %+v vs %+v", i, fromGenome[i], fromFile[i])
+		}
+	}
+	if fmt.Sprint(genomeDones) != fmt.Sprint(fileDones) {
+		t.Fatalf("ChromDone sequences differ:\n genome: %v\n file:   %v", genomeDones, fileDones)
+	}
+	if genomeStats.Events != fileStats.Events || genomeStats.BytesScanned != fileStats.BytesScanned {
+		t.Errorf("stats differ: events %d vs %d, bytes %d vs %d",
+			genomeStats.Events, fileStats.Events, genomeStats.BytesScanned, fileStats.BytesScanned)
+	}
+}
+
+func TestSearchGenomeStreamSkipAndCancel(t *testing.T) {
+	g, guides, _ := plantedFixture(t, 505, 3, 60000, PlantPlanLite())
+	p := Params{MaxMismatches: 1}
+
+	// Skipping the first chromosome yields only the rest, in order.
+	first := g.Chroms[0].Name
+	var kept []string
+	_, err := SearchGenomeStreamContext(context.Background(), g, guides, p,
+		&StreamControl{
+			SkipChrom: func(name string) bool { return name == first },
+			ChromDone: func(name string, _ int, _ int64) error {
+				kept = append(kept, name)
+				return nil
+			},
+		},
+		func(report.Site) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != len(g.Chroms)-1 || (len(kept) > 0 && kept[0] == first) {
+		t.Fatalf("skip failed: completed %v", kept)
+	}
+
+	// A pre-canceled context aborts before any chromosome completes.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := SearchGenomeStreamContext(ctx, g, guides, p, nil, func(report.Site) error { return nil })
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled genome stream returned %v, want context.Canceled", err)
+	}
+	if stats == nil || stats.BytesScanned != 0 {
+		t.Fatalf("canceled-before-start stats = %+v, want zero bytes scanned", stats)
+	}
+
+	if _, err := SearchGenomeStreamContext(context.Background(), nil, guides, p, nil, func(report.Site) error { return nil }); err == nil {
+		t.Error("nil genome must error")
+	}
+}

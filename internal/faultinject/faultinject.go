@@ -1,14 +1,20 @@
 // Package faultinject supplies deterministic failure machinery for the
 // robustness tests: a seedable io.Reader that delivers short reads,
-// transient stalls, and a mid-stream error at an exact byte offset; and
-// an arch.Engine wrapper that errors or panics on a chosen chromosome.
-// Both are pure test doubles — nothing in the production pipeline
-// imports them — but they live outside _test files so every package's
-// tests (core, the CLI, the public API) can share one implementation.
+// transient stalls, and a mid-stream error at an exact byte offset; an
+// arch.Engine wrapper that errors or panics on a chosen chromosome; a
+// transient-failure injector (Flaky, FlakyEngine) that fails a counted
+// number of times and then recovers, for driving retry/backoff paths;
+// and a latency injector (LatencyEngine) that holds scans open for
+// drain and overload tests. All are pure test doubles — nothing in the
+// production pipeline imports them — but they live outside _test files
+// so every package's tests (core, the CLI, the service, the public API)
+// can share one implementation.
 //
 // Determinism matters here: a fault that moves between runs turns a
-// red test into a flake. Every behavior is driven by the configured
-// seed and counters, never by wall-clock or scheduler timing.
+// red test into a flake. Every failure behavior is driven by the
+// configured seed and counters, never by wall-clock or scheduler
+// timing; for injected latency, prefer the Gate channel (explicit
+// release) over Delay when a test needs exact sequencing.
 package faultinject
 
 import (
@@ -17,6 +23,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"time"
 
 	"github.com/cap-repro/crisprscan/internal/arch"
 	"github.com/cap-repro/crisprscan/internal/automata"
@@ -132,6 +139,147 @@ func (e *Engine) ScanChromContext(ctx context.Context, c *genome.Chromosome, emi
 		return err
 	}
 	return arch.ScanChrom(ctx, e.Inner, c, emit)
+}
+
+// transientErr marks an injected failure as transient via the
+// duck-typed Transient() method the scan service's error taxonomy
+// recognizes (no import in either direction, so test doubles and the
+// production classifier stay decoupled).
+type transientErr struct{ err error }
+
+func (e transientErr) Error() string   { return e.err.Error() }
+func (e transientErr) Unwrap() error   { return e.err }
+func (e transientErr) Transient() bool { return true }
+
+// Transient wraps err so retry-aware callers classify it as a
+// transient (retryable) failure. A nil err returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return transientErr{err: err}
+}
+
+// Flaky is the transient-failure injector: an operation that fails its
+// first Fails invocations with a transient-classified error and
+// succeeds forever after — the canonical shape for driving retry and
+// backoff paths deterministically. The zero value never fails.
+type Flaky struct {
+	// Fails is how many leading invocations fail.
+	Fails int
+	// Err is the underlying injected error (default ErrInjected); it is
+	// delivered wrapped by Transient.
+	Err error
+
+	mu    sync.Mutex
+	calls int // guarded by mu
+}
+
+// Next records one invocation and returns the injected transient error
+// while the failure budget lasts, nil afterwards.
+func (f *Flaky) Next() error {
+	f.mu.Lock()
+	f.calls++
+	fire := f.calls <= f.Fails
+	f.mu.Unlock()
+	if !fire {
+		return nil
+	}
+	err := f.Err
+	if err == nil {
+		err = ErrInjected
+	}
+	return Transient(err)
+}
+
+// Calls returns how many invocations have been observed.
+func (f *Flaky) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// FlakyEngine wraps an arch.Engine with a Flaky gate: the first
+// Flaky.Fails chromosome scans fail transiently, later ones pass
+// through — an engine that recovers after retries.
+type FlakyEngine struct {
+	Inner arch.Engine
+	Flaky Flaky
+}
+
+// Name implements arch.Engine.
+func (e *FlakyEngine) Name() string { return e.Inner.Name() }
+
+// ScanChrom implements arch.Engine.
+func (e *FlakyEngine) ScanChrom(c *genome.Chromosome, emit func(automata.Report)) error {
+	if err := e.Flaky.Next(); err != nil {
+		return err
+	}
+	return e.Inner.ScanChrom(c, emit)
+}
+
+// ScanChromContext implements arch.ContextEngine.
+func (e *FlakyEngine) ScanChromContext(ctx context.Context, c *genome.Chromosome, emit func(automata.Report)) error {
+	if err := e.Flaky.Next(); err != nil {
+		return err
+	}
+	return arch.ScanChrom(ctx, e.Inner, c, emit)
+}
+
+// LatencyEngine is the latency injector: it delays every chromosome
+// scan, either by a fixed Delay or — for fully deterministic
+// sequencing — until the test sends on Gate, whichever is configured.
+// Waiting respects ctx, so a delayed scan still cancels promptly: the
+// tool for pinning jobs in the running state while a test exercises
+// drain, overload, or deadline paths.
+type LatencyEngine struct {
+	Inner arch.Engine
+	// Delay, when > 0, is waited before each scan.
+	Delay time.Duration
+	// Gate, when non-nil, must deliver one value per scan before the
+	// scan proceeds (send to release, close to release everything).
+	Gate chan struct{}
+}
+
+// Name implements arch.Engine.
+func (e *LatencyEngine) Name() string { return e.Inner.Name() }
+
+// ScanChrom implements arch.Engine (waits without cancellation).
+func (e *LatencyEngine) ScanChrom(c *genome.Chromosome, emit func(automata.Report)) error {
+	if err := e.wait(context.Background()); err != nil {
+		return err
+	}
+	return e.Inner.ScanChrom(c, emit)
+}
+
+// ScanChromContext implements arch.ContextEngine; the injected wait
+// aborts with ctx.Err() on cancellation, like a real slow scan would at
+// its next chunk boundary.
+func (e *LatencyEngine) ScanChromContext(ctx context.Context, c *genome.Chromosome, emit func(automata.Report)) error {
+	if err := e.wait(ctx); err != nil {
+		return err
+	}
+	return arch.ScanChrom(ctx, e.Inner, c, emit)
+}
+
+func (e *LatencyEngine) wait(ctx context.Context) error {
+	if e.Delay > 0 {
+		t := time.NewTimer(e.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	if e.Gate != nil {
+		select {
+		case <-e.Gate:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
 }
 
 // arm advances the call counter and triggers the configured fault when

@@ -106,3 +106,47 @@ func TestReaderStalls(t *testing.T) {
 		t.Fatalf("delivered %d bytes, want %d (stalls must not drop data)", total, len(src))
 	}
 }
+
+func TestFlakyFailsThenRecovers(t *testing.T) {
+	f := &Flaky{Fails: 3}
+	for i := 1; i <= 3; i++ {
+		err := f.Next()
+		if err == nil {
+			t.Fatalf("invocation %d succeeded, want transient failure", i)
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("invocation %d error %v does not wrap ErrInjected", i, err)
+		}
+		var tr interface{ Transient() bool }
+		if !errors.As(err, &tr) || !tr.Transient() {
+			t.Fatalf("invocation %d error %v is not marked transient", i, err)
+		}
+	}
+	for i := 4; i <= 6; i++ {
+		if err := f.Next(); err != nil {
+			t.Fatalf("invocation %d failed after budget exhausted: %v", i, err)
+		}
+	}
+	if f.Calls() != 6 {
+		t.Fatalf("Calls = %d, want 6", f.Calls())
+	}
+}
+
+func TestTransientWrapping(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) must be nil")
+	}
+	base := errors.New("boom")
+	err := Transient(base)
+	if !errors.Is(err, base) {
+		t.Fatal("Transient must wrap the cause")
+	}
+	var tr interface{ Transient() bool }
+	if !errors.As(err, &tr) || !tr.Transient() {
+		t.Fatal("Transient marker not detectable via errors.As")
+	}
+	// A permanent error carries no marker.
+	if errors.As(base, &tr) {
+		t.Fatal("unwrapped error must not classify transient")
+	}
+}

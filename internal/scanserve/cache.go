@@ -1,0 +1,169 @@
+package scanserve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+
+	"github.com/cap-repro/crisprscan"
+)
+
+// genomeCache keeps parsed reference genomes resident and shared: the
+// expensive artifact in a scan service is the multi-gigabyte decoded
+// genome, and "millions of users" overwhelmingly query the same few
+// references. Loads are single-flight — concurrent requests for the
+// same key wait on one loader instead of parsing the FASTA N times —
+// and eviction is LRU over a fixed capacity, so memory stays bounded
+// when tenants rotate through many references. Keys incorporate file
+// identity (size, mtime), so replacing a genome file on disk rotates
+// the cache entry instead of serving stale sequence.
+type genomeCache struct {
+	capacity int
+	load     func(path string) (*crisprscan.Genome, error)
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry // guarded by mu
+	lru     []string               // guarded by mu; least-recent first
+
+	hits, misses, evictions int64 // guarded by mu
+}
+
+// cacheEntry is one keyed load. ready is closed when g/err are final;
+// both are written exactly once, before the close, so readers that
+// waited on ready need no lock.
+type cacheEntry struct {
+	ready chan struct{}
+	g     *crisprscan.Genome
+	err   error
+}
+
+// newGenomeCache builds a cache holding up to capacity genomes
+// (minimum 1); load defaults to crisprscan.LoadGenome.
+func newGenomeCache(capacity int, load func(path string) (*crisprscan.Genome, error)) *genomeCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if load == nil {
+		load = crisprscan.LoadGenome
+	}
+	return &genomeCache{
+		capacity: capacity,
+		load:     load,
+		entries:  make(map[string]*cacheEntry),
+	}
+}
+
+// key derives the cache identity for a genome path: the path plus the
+// file's size and mtime, so an updated reference cannot be served from
+// a stale entry.
+func (c *genomeCache) key(path string) (string, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", fmt.Errorf("scanserve: genome %s: %w", path, err)
+	}
+	return fmt.Sprintf("%s|%d|%d", path, fi.Size(), fi.ModTime().UnixNano()), nil
+}
+
+// get returns the genome for path, loading it at most once per key no
+// matter how many tenants ask concurrently. Waiters honor ctx; a failed
+// load is not cached (the next request retries).
+func (c *genomeCache) get(ctx context.Context, path string) (*crisprscan.Genome, error) {
+	key, err := c.key(path)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.touchLocked(key)
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("scanserve: waiting for genome %s: %w", path, ctx.Err())
+		}
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.g, nil
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.lru = append(c.lru, key)
+	c.misses++
+	c.mu.Unlock()
+
+	g, lerr := c.load(path)
+	c.mu.Lock()
+	if lerr != nil {
+		e.err = fmt.Errorf("scanserve: loading genome %s: %w", path, lerr)
+		c.removeLocked(key)
+	} else {
+		e.g = g
+	}
+	close(e.ready)
+	if lerr == nil {
+		c.evictOverLocked()
+	}
+	c.mu.Unlock()
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.g, nil
+}
+
+// touchLocked moves key to the most-recent end. Caller holds mu.
+func (c *genomeCache) touchLocked(key string) {
+	for i, k := range c.lru {
+		if k == key {
+			c.lru = append(append(c.lru[:i:i], c.lru[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// removeLocked drops key entirely (failed loads). Caller holds mu.
+func (c *genomeCache) removeLocked(key string) {
+	delete(c.entries, key)
+	for i, k := range c.lru {
+		if k == key {
+			c.lru = append(c.lru[:i:i], c.lru[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictOverLocked drops least-recently-used completed entries beyond
+// capacity. In-flight loads (ready still open) are skipped: they are by
+// construction near the MRU end, and evicting a load nobody has seen
+// yet would waste it. Caller holds mu.
+func (c *genomeCache) evictOverLocked() {
+	excess := len(c.entries) - c.capacity
+	for i := 0; excess > 0 && i < len(c.lru); {
+		key := c.lru[i]
+		e := c.entries[key]
+		select {
+		case <-e.ready:
+			delete(c.entries, key)
+			c.lru = append(c.lru[:i:i], c.lru[i+1:]...)
+			c.evictions++
+			excess--
+		default:
+			i++
+		}
+	}
+}
+
+// cacheStats is a point-in-time counters snapshot for /metrics.
+type cacheStats struct {
+	Hits, Misses, Evictions int64
+	Resident                int
+}
+
+// stats snapshots the cache counters.
+func (c *genomeCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Resident: len(c.entries)}
+}

@@ -1,0 +1,154 @@
+package scanserve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/cap-repro/crisprscan"
+)
+
+// cacheFixture writes n empty stand-in genome files and returns their
+// paths; the injected loader never reads them, but key() stats them.
+func cacheFixture(t *testing.T, n int) []string {
+	t.Helper()
+	dir := t.TempDir()
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("g%d.fa", i))
+		if err := os.WriteFile(paths[i], []byte(">chr1\nACGT\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return paths
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	paths := cacheFixture(t, 1)
+	var loads atomic.Int64
+	gate := make(chan struct{})
+	c := newGenomeCache(2, func(path string) (*crisprscan.Genome, error) {
+		loads.Add(1)
+		<-gate
+		return &crisprscan.Genome{}, nil
+	})
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]*crisprscan.Genome, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.get(context.Background(), paths[0])
+		}(i)
+	}
+	// Release the one loader everyone must be waiting on.
+	close(gate)
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("loader ran %d times for %d concurrent gets, want 1 (single-flight)", n, waiters)
+	}
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("waiter %d got a different genome instance", i)
+		}
+	}
+	st := c.stats()
+	if st.Misses != 1 || st.Hits != waiters-1 {
+		t.Fatalf("hits/misses = %d/%d, want %d/1", st.Hits, st.Misses, waiters-1)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	paths := cacheFixture(t, 3)
+	loadedAt := make(map[string]int)
+	loads := 0
+	c := newGenomeCache(2, func(path string) (*crisprscan.Genome, error) {
+		loads++
+		loadedAt[path] = loads
+		return &crisprscan.Genome{}, nil
+	})
+	ctx := context.Background()
+	mustGet := func(p string) {
+		t.Helper()
+		if _, err := c.get(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet(paths[0])
+	mustGet(paths[1])
+	mustGet(paths[0]) // touch 0: 1 is now least-recent
+	mustGet(paths[2]) // evicts 1
+	if st := c.stats(); st.Evictions != 1 || st.Resident != 2 {
+		t.Fatalf("evictions/resident = %d/%d, want 1/2", st.Evictions, st.Resident)
+	}
+	// 0 and 2 stay resident; 1 must reload.
+	before := loads
+	mustGet(paths[0])
+	mustGet(paths[2])
+	if loads != before {
+		t.Fatal("resident genomes reloaded")
+	}
+	mustGet(paths[1])
+	if loads != before+1 {
+		t.Fatalf("evicted genome did not reload (loads %d, want %d)", loads, before+1)
+	}
+}
+
+func TestCacheFailedLoadIsRetried(t *testing.T) {
+	paths := cacheFixture(t, 1)
+	fail := true
+	c := newGenomeCache(1, func(path string) (*crisprscan.Genome, error) {
+		if fail {
+			return nil, errors.New("disk hiccup")
+		}
+		return &crisprscan.Genome{}, nil
+	})
+	ctx := context.Background()
+	if _, err := c.get(ctx, paths[0]); err == nil {
+		t.Fatal("failed load returned no error")
+	}
+	if st := c.stats(); st.Resident != 0 {
+		t.Fatalf("failed load cached (%d resident)", st.Resident)
+	}
+	fail = false
+	if _, err := c.get(ctx, paths[0]); err != nil {
+		t.Fatalf("retry after failed load: %v", err)
+	}
+}
+
+func TestCacheKeyTracksFileIdentity(t *testing.T) {
+	paths := cacheFixture(t, 1)
+	loads := 0
+	c := newGenomeCache(2, func(path string) (*crisprscan.Genome, error) {
+		loads++
+		return &crisprscan.Genome{}, nil
+	})
+	ctx := context.Background()
+	if _, err := c.get(ctx, paths[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Replacing the file's content (size changes) must rotate the entry
+	// instead of serving the stale genome.
+	if err := os.WriteFile(paths[0], []byte(">chr1\nACGTACGTACGT\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.get(ctx, paths[0]); err != nil {
+		t.Fatal(err)
+	}
+	if loads != 2 {
+		t.Fatalf("loads = %d after file replacement, want 2", loads)
+	}
+	if _, err := c.get(ctx, filepath.Join(t.TempDir(), "missing.fa")); err == nil {
+		t.Fatal("missing genome file produced no error")
+	}
+}

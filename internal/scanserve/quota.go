@@ -1,0 +1,69 @@
+package scanserve
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"github.com/cap-repro/crisprscan/internal/metrics"
+)
+
+// quotas implements per-tenant token-bucket admission: each tenant gets
+// an independent bucket refilled at rate tokens/second up to burst.
+// Submissions spend one token; an empty bucket is rejected with the
+// exact wait until the next token, which becomes the 429's Retry-After.
+// The clock is injectable so tests are deterministic.
+type quotas struct {
+	rate  float64 // tokens per second; <= 0 disables quota enforcement
+	burst float64
+	now   func() int64 // monotonic nanos (default metrics.Now)
+
+	mu      sync.Mutex
+	buckets map[string]*bucket // guarded by mu
+}
+
+// bucket is one tenant's token state; fields are guarded by the owning
+// quotas' mu.
+type bucket struct {
+	tokens float64
+	last   int64 // nanos at the last refill
+}
+
+// newQuotas builds the admission buckets. burst < 1 is raised to 1 so
+// an idle tenant can always submit at least one job.
+func newQuotas(rate float64, burst int, now func() int64) *quotas {
+	if now == nil {
+		now = metrics.Now
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &quotas{rate: rate, burst: b, now: now, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from the tenant's bucket. When the bucket is
+// empty it reports false and how long until a token accrues.
+func (q *quotas) allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if q.rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, found := q.buckets[tenant]
+	nowNs := q.now()
+	if !found {
+		b = &bucket{tokens: q.burst, last: nowNs}
+		q.buckets[tenant] = b
+	} else {
+		elapsed := float64(nowNs-b.last) / float64(time.Second)
+		b.tokens = math.Min(q.burst, b.tokens+elapsed*q.rate)
+		b.last = nowNs
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / q.rate // seconds until one whole token
+	return false, time.Duration(math.Ceil(need * float64(time.Second)))
+}

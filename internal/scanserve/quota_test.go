@@ -1,0 +1,80 @@
+package scanserve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced monotonic clock for quota tests.
+type fakeClock struct{ ns int64 }
+
+func (c *fakeClock) now() int64              { return c.ns }
+func (c *fakeClock) advance(d time.Duration) { c.ns += int64(d) }
+
+func TestQuotaBurstThenRefill(t *testing.T) {
+	clk := &fakeClock{}
+	q := newQuotas(2, 3, clk.now) // 2 tokens/sec, burst 3
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := q.allow("a"); !ok {
+			t.Fatalf("burst submission %d rejected", i)
+		}
+	}
+	ok, retryAfter := q.allow("a")
+	if ok {
+		t.Fatal("submission beyond burst allowed")
+	}
+	// Empty bucket at 2 tokens/sec: next token in 0.5s.
+	if retryAfter != 500*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want 500ms", retryAfter)
+	}
+	// Waiting the advertised interval makes exactly one token available.
+	clk.advance(retryAfter)
+	if ok, _ := q.allow("a"); !ok {
+		t.Fatal("submission after advertised Retry-After still rejected")
+	}
+	if ok, _ := q.allow("a"); ok {
+		t.Fatal("second submission allowed without further refill")
+	}
+}
+
+func TestQuotaTenantsAreIndependent(t *testing.T) {
+	clk := &fakeClock{}
+	q := newQuotas(1, 1, clk.now)
+	if ok, _ := q.allow("a"); !ok {
+		t.Fatal("tenant a's first submission rejected")
+	}
+	if ok, _ := q.allow("a"); ok {
+		t.Fatal("tenant a allowed beyond burst")
+	}
+	if ok, _ := q.allow("b"); !ok {
+		t.Fatal("tenant b throttled by tenant a's spending")
+	}
+}
+
+func TestQuotaRefillCapsAtBurst(t *testing.T) {
+	clk := &fakeClock{}
+	q := newQuotas(10, 2, clk.now)
+	if ok, _ := q.allow("a"); !ok {
+		t.Fatal("first submission rejected")
+	}
+	// A long idle period must not bank more than burst tokens.
+	clk.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.allow("a"); !ok {
+			t.Fatalf("submission %d after idle rejected", i)
+		}
+	}
+	if ok, _ := q.allow("a"); ok {
+		t.Fatal("idle period banked more than burst")
+	}
+}
+
+func TestQuotaDisabled(t *testing.T) {
+	q := newQuotas(0, 1, (&fakeClock{}).now)
+	for i := 0; i < 100; i++ {
+		if ok, _ := q.allow("a"); !ok {
+			t.Fatal("disabled quota rejected a submission")
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package scanserve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/cap-repro/crisprscan"
+	"github.com/cap-repro/crisprscan/internal/checkpoint"
+	"github.com/cap-repro/crisprscan/internal/metrics"
+)
+
+// countingWriter tracks the logical output size so the checkpoint
+// journal can watermark it. It sits above the bufio layer: after a
+// Flush, the file's size equals base + n, and that is exactly the
+// value committed as Entry.OutBytes.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// scanAttempt is the production scan path for one attempt: resolve the
+// genome through the resident cache, open (or resume) the job's
+// checkpoint journal, truncate the output artifact to the last durable
+// watermark, and stream the scan chromosome by chromosome — flushing
+// and fsyncing the output before each chromosome is committed, so a
+// crash at any instant resumes to byte-identical output.
+func (s *Service) scanAttempt(ctx context.Context, job *Job, rec *metrics.Recorder, prog *metrics.Progress) error {
+	g, err := s.cache.get(ctx, job.ResolvedGenome)
+	if err != nil {
+		return err
+	}
+	guides := job.Spec.guides()
+	params := job.Spec.params()
+	if params.Workers > s.cfg.Workers*4 && s.cfg.Workers > 0 {
+		// A tenant cannot commandeer the host by asking for 10k workers.
+		params.Workers = s.cfg.Workers * 4
+	}
+	params.Metrics = rec
+	params.Progress = prog
+
+	j, err := checkpoint.Open(s.store.ckptPath(job.ID), crisprscan.FingerprintParams(guides, params))
+	if err != nil {
+		// A corrupt or mismatched journal will not heal on retry.
+		return MarkPermanent(fmt.Errorf("scanserve: job %s: %w", job.ID, err))
+	}
+
+	outPath := s.store.outPath(job)
+	f, err := os.OpenFile(outPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("scanserve: opening output for job %s: %w", job.ID, err)
+	}
+	defer f.Close()
+	// Exactly-once bytes: the journal is at-least-once (output flush
+	// happens before Commit), so a crash between the two leaves rows past
+	// the last committed watermark. Truncating to the watermark discards
+	// exactly the uncommitted suffix; the re-scan re-emits it.
+	wm := j.OutBytes()
+	if err := f.Truncate(wm); err != nil {
+		return fmt.Errorf("scanserve: truncating output of job %s to watermark %d: %w", job.ID, wm, err)
+	}
+	if _, err := f.Seek(wm, io.SeekStart); err != nil {
+		return fmt.Errorf("scanserve: seeking output of job %s: %w", job.ID, err)
+	}
+	bw := bufio.NewWriter(f)
+	cw := &countingWriter{w: bw, n: wm}
+	if wm == 0 && !job.Spec.BED {
+		if err := crisprscan.WriteSitesTSVHeader(cw); err != nil {
+			return fmt.Errorf("scanserve: writing header for job %s: %w", job.ID, err)
+		}
+	}
+
+	writeSite := crisprscan.WriteSiteTSV
+	if job.Spec.BED {
+		writeSite = crisprscan.WriteSiteBED
+	}
+	ctrl := &crisprscan.StreamControl{
+		SkipChrom: j.Done,
+		ChromDone: func(name string, sites int, scannedBases int64) error {
+			if err := bw.Flush(); err != nil {
+				return fmt.Errorf("scanserve: flushing output of job %s: %w", job.ID, err)
+			}
+			if err := f.Sync(); err != nil {
+				return fmt.Errorf("scanserve: syncing output of job %s: %w", job.ID, err)
+			}
+			return j.Commit(checkpoint.Entry{
+				Chrom: name, Sites: sites, ScannedBases: scannedBases, OutBytes: cw.n,
+			})
+		},
+	}
+	if _, err := crisprscan.SearchGenomeStreamContext(ctx, g, guides, params, ctrl, func(site crisprscan.Site) error {
+		return writeSite(cw, site)
+	}); err != nil {
+		return err
+	}
+	// ChromDone flushed and synced after the last chromosome; nothing is
+	// buffered here unless the genome had zero unskipped chromosomes.
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("scanserve: flushing output of job %s: %w", job.ID, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("scanserve: syncing output of job %s: %w", job.ID, err)
+	}
+	if _, err := s.store.update(job.ID, func(rec *Job) { rec.Sites = j.Sites() }); err != nil {
+		return fmt.Errorf("scanserve: recording site count for job %s: %w", job.ID, err)
+	}
+	return nil
+}
+
+// OutputPath returns the output artifact path of a job, for download
+// streaming. The bool reports whether the job exists.
+func (s *Service) OutputPath(id string) (string, Job, bool) {
+	job, ok := s.store.get(id)
+	if !ok {
+		return "", Job{}, false
+	}
+	return s.store.outPath(&job), job, true
+}
