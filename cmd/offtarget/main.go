@@ -63,6 +63,7 @@ import (
 // config carries every flag so run stays testable without a flag.Parse.
 type config struct {
 	genomePath string
+	indexPath  string
 	guidesPath string
 	guideSeq   string
 	k          int
@@ -155,6 +156,7 @@ func main() {
 	var cfg config
 	var showVersion bool
 	flag.StringVar(&cfg.genomePath, "genome", "", "reference genome FASTA (required)")
+	flag.StringVar(&cfg.indexPath, "index", "", "prebuilt genome seed index (genomeindex build); selects the seed-index engine")
 	flag.StringVar(&cfg.guidesPath, "guides", "", "guide list file (one spacer per line)")
 	flag.StringVar(&cfg.guideSeq, "guide", "", "single guide spacer (alternative to -guides)")
 	flag.IntVar(&cfg.k, "k", 3, "maximum spacer mismatches")
@@ -219,8 +221,8 @@ func run(ctx context.Context, cfg *config) (err error) {
 	if cfg.serve {
 		return runServe(ctx, cfg)
 	}
-	if cfg.genomePath == "" {
-		return fmt.Errorf("missing -genome")
+	if cfg.genomePath == "" && cfg.indexPath == "" {
+		return fmt.Errorf("missing -genome (or -index)")
 	}
 	logger := cfg.logger().With("engine", cfg.engineName, "k", cfg.k, "pam", cfg.pam)
 	guides, err := loadGuides(cfg.guidesPath, cfg.guideSeq)
@@ -312,6 +314,28 @@ func run(ctx context.Context, cfg *config) (err error) {
 		Engine: crisprscan.Engine(cfg.engineName), Workers: cfg.workers,
 	}
 
+	// A prebuilt index forces the seed-index engine: the point of -index
+	// is to skip the genome sweep, and silently scanning with another
+	// engine would ignore the file the user handed us.
+	if cfg.indexPath != "" {
+		if cfg.bulge > 0 {
+			return fmt.Errorf("-index does not support -bulge")
+		}
+		switch params.Engine {
+		case "", crisprscan.EngineSeedIndex, crisprscan.EngineHyperscan: // explicit or the flag default
+			params.Engine = crisprscan.EngineSeedIndex
+		default:
+			return fmt.Errorf("-index requires the seed-index engine, not -engine %s", cfg.engineName)
+		}
+		ix, err := crisprscan.LoadSeedIndex(cfg.indexPath)
+		if err != nil {
+			return err
+		}
+		params.SeedIndex = ix
+		logger.Info("loaded genome seed index",
+			"index", cfg.indexPath, "chromosomes", len(ix.Chroms), "seed_len", ix.SeedLen)
+	}
+
 	if cfg.tracePath != "" {
 		tf, terr := os.Create(cfg.tracePath)
 		if terr != nil {
@@ -375,9 +399,23 @@ func run(ctx context.Context, cfg *config) (err error) {
 		return runStream(ctx, cfg, guides, params, w, resuming, logger)
 	}
 
-	g, err := crisprscan.LoadGenome(cfg.genomePath)
-	if err != nil {
-		return err
+	var g *crisprscan.Genome
+	if cfg.genomePath != "" {
+		g, err = crisprscan.LoadGenome(cfg.genomePath)
+		if err != nil {
+			return err
+		}
+		// Both given: prove the pair matches before scanning a single
+		// window. A reference edited after indexing must not run.
+		if params.SeedIndex != nil {
+			if err := params.SeedIndex.ValidateGenome(g); err != nil {
+				return err
+			}
+		}
+	} else {
+		// The index is self-contained: reconstruct the reference from its
+		// packed sequence sections.
+		g = params.SeedIndex.Genome()
 	}
 
 	if cfg.bulge > 0 {
@@ -439,11 +477,19 @@ func runStream(ctx context.Context, cfg *config, guides []crisprscan.Guide, para
 	if cfg.region != "" {
 		return fmt.Errorf("-stream does not support -region")
 	}
-	f, err := os.Open(cfg.genomePath)
-	if err != nil {
-		return err
+	var f *os.File
+	if cfg.genomePath != "" {
+		var err error
+		f, err = os.Open(cfg.genomePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	} else if cfg.ckptPath != "" {
+		// Checkpoint journaling tracks FASTA byte offsets; without the
+		// file there is nothing to resume against.
+		return fmt.Errorf("-stream -checkpoint requires -genome")
 	}
-	defer f.Close()
 
 	if !cfg.bed && !resuming {
 		if err := crisprscan.WriteSitesTSVHeader(w); err != nil {
@@ -460,6 +506,7 @@ func runStream(ctx context.Context, cfg *config, guides []crisprscan.Guide, para
 	}
 
 	var st *crisprscan.Stats
+	var err error
 	if cfg.ckptPath != "" {
 		st, err = crisprscan.SearchStreamCheckpoint(ctx, f, guides, params, cfg.ckptPath, w.Flush, emit)
 	} else {
@@ -470,7 +517,13 @@ func runStream(ctx context.Context, cfg *config, guides []crisprscan.Guide, para
 				return nil
 			},
 		}
-		st, err = crisprscan.SearchStreamContext(ctx, f, guides, params, ctrl, emit)
+		if f != nil {
+			st, err = crisprscan.SearchStreamContext(ctx, f, guides, params, ctrl, emit)
+		} else {
+			// -index without -genome: drive the same streaming pipeline
+			// from the reference reconstructed out of the index.
+			st, err = crisprscan.SearchGenomeStreamContext(ctx, params.SeedIndex.Genome(), guides, params, ctrl, emit)
+		}
 	}
 	if cfg.stats && st != nil {
 		logger.Info("scan complete",

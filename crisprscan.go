@@ -36,6 +36,7 @@ import (
 	"github.com/cap-repro/crisprscan/internal/genome"
 	"github.com/cap-repro/crisprscan/internal/metrics"
 	"github.com/cap-repro/crisprscan/internal/report"
+	"github.com/cap-repro/crisprscan/internal/seedindex"
 )
 
 // Genome is a loaded reference genome.
@@ -127,6 +128,10 @@ const (
 	// EngineCasOTIndex its seed-index variant.
 	EngineCasOT      = core.EngineCasOT
 	EngineCasOTIndex = core.EngineCasOTIndex
+	// EngineSeedIndex is the pigeonhole seed-index engine: attach a
+	// persistent index via Params.SeedIndex (index once, query
+	// millions), or let it self-index per chromosome when none is set.
+	EngineSeedIndex = core.EngineSeedIndex
 	// EngineAP, EngineFPGA and EngineInfant are the modeled
 	// accelerator platforms.
 	EngineAP     = core.EngineAP
@@ -173,6 +178,13 @@ type Params struct {
 	// the paper proposes.
 	MergeStates bool
 	Stride2     bool
+	// SeedIndex, when non-nil, binds EngineSeedIndex to a persistent
+	// genome index (BuildSeedIndex / LoadSeedIndex) so a scan touches
+	// only candidate loci. The index must describe the genome being
+	// scanned — validate with (*SeedIndex).ValidateGenome after loading
+	// from disk; a mismatched chromosome fails the scan closed. Other
+	// engines ignore the field.
+	SeedIndex *SeedIndex
 	// Metrics, when non-nil, is the recorder this search reports into —
 	// supply one to attach a Tracer or to aggregate several searches.
 	// When nil a private recorder is created; either way the result's
@@ -203,6 +215,31 @@ func ReadGenome(r io.Reader) (*Genome, error) {
 		return nil, err
 	}
 	return genome.FromFasta(recs)
+}
+
+// SeedIndex is a persistent genome seed index: the packed 2-bit
+// sequence plus a k-mer seed table with per-seed posting lists, built
+// once offline and shared across every scan of that reference (the
+// index-once, query-millions shape). Build with BuildSeedIndex or the
+// genomeindex CLI, persist with WriteFile, reload with LoadSeedIndex,
+// and attach via Params.SeedIndex with Params.Engine = EngineSeedIndex.
+// The indexed engine is hit-for-hit identical to the full-scan engines:
+// candidates are always re-verified against the live sequence, and
+// content hashes (ValidateGenome) detect a reference edited after
+// indexing.
+type SeedIndex = seedindex.Index
+
+// BuildSeedIndex constructs the seed index for a loaded genome.
+// seedLen 0 selects the default seed width.
+func BuildSeedIndex(g *Genome, seedLen int) (*SeedIndex, error) {
+	return seedindex.Build(g, seedLen)
+}
+
+// LoadSeedIndex reads a genomeindex-built index file, verifying its
+// magic, version and every section checksum; damaged or version-skewed
+// files fail closed here rather than producing silently wrong scans.
+func LoadSeedIndex(path string) (*SeedIndex, error) {
+	return seedindex.Load(path)
 }
 
 // SynthConfig re-exports the synthetic-genome generator configuration.
@@ -266,6 +303,7 @@ func coreParams(p Params) core.Params {
 		MaxSeedMismatches: p.MaxSeedMismatches,
 		MergeStates:       p.MergeStates,
 		Stride2:           p.Stride2,
+		SeedIndex:         p.SeedIndex,
 		Metrics:           p.Metrics,
 		Progress:          p.Progress,
 	}

@@ -174,3 +174,58 @@ func TestGoldenStreamingEquivalence(t *testing.T) {
 	// And the streamed TSV matches the checked-in fixture transitively.
 	checkGolden(t, "golden_sites.tsv", streamTSV.Bytes())
 }
+
+// TestGoldenSeedIndex: the persistent-index scan path must serialize
+// byte-identically to the checked-in golden fixtures — the same bytes
+// the full-scan flagship produced — in both batch and streaming modes.
+// The index goes through a full disk round trip first, so the fixture
+// also pins the on-disk format's fidelity.
+func TestGoldenSeedIndex(t *testing.T) {
+	g, guides, _ := goldenSites(t)
+	ix, err := BuildSeedIndex(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "golden.csix")
+	if err := ix.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	ix, err = LoadSeedIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.ValidateGenome(g); err != nil {
+		t.Fatal(err)
+	}
+	p := Params{MaxMismatches: 5, Engine: EngineSeedIndex, SeedIndex: ix}
+
+	res, err := Search(g, guides, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tsv, bed bytes.Buffer
+	if err := WriteSitesTSV(&tsv, res.Sites); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSitesBED(&bed, res.Sites); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_sites.tsv", tsv.Bytes())
+	checkGolden(t, "golden_sites.bed", bed.Bytes())
+
+	var streamTSV, streamBED bytes.Buffer
+	if err := WriteSitesTSVHeader(&streamTSV); err != nil {
+		t.Fatal(err)
+	}
+	_, err = SearchStream(strings.NewReader(fastaOf(g)), guides, p, func(s Site) error {
+		if err := WriteSiteTSV(&streamTSV, s); err != nil {
+			return err
+		}
+		return WriteSiteBED(&streamBED, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_sites.tsv", streamTSV.Bytes())
+	checkGolden(t, "golden_sites.bed", streamBED.Bytes())
+}

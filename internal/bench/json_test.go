@@ -30,16 +30,21 @@ func TestMatrixCoversAllEngines(t *testing.T) {
 	// The sweep dimensions must each contribute distinct cells.
 	keys := map[string]bool{}
 	for _, mc := range cases {
-		e := BenchEntry{Engine: string(mc.Engine), GenomeLen: mc.GenomeLen, Guides: mc.Guides, K: mc.K}
+		e := BenchEntry{Engine: mc.Label(), GenomeLen: mc.GenomeLen, Guides: mc.Guides, K: mc.K}
 		k := e.Key()
 		if keys[k] {
 			t.Errorf("duplicate matrix cell %s", k)
 		}
 		keys[k] = true
 	}
-	want := len(core.AllEngines) + 1 + 1 + 1 // one non-default value per sweep set
+	// One non-default value per sweep set, plus the prebuilt seed-index
+	// cell.
+	want := len(core.AllEngines) + 1 + 1 + 1 + 1
 	if len(cases) != want {
 		t.Fatalf("matrix has %d cells, want %d", len(cases), want)
+	}
+	if !keys["seed-index-prebuilt/n20000/g2/k2"] {
+		t.Error("matrix misses the prebuilt seed-index cell")
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"github.com/cap-repro/crisprscan/internal/infant"
 	"github.com/cap-repro/crisprscan/internal/metrics"
 	"github.com/cap-repro/crisprscan/internal/report"
+	"github.com/cap-repro/crisprscan/internal/seedindex"
 )
 
 // EngineKind selects the execution platform.
@@ -45,6 +46,11 @@ const (
 	// EngineCasOTIndex its seed-index variant.
 	EngineCasOT      EngineKind = "casot"
 	EngineCasOTIndex EngineKind = "casot-index"
+	// EngineSeedIndex is the pigeonhole seed-index engine: bound to a
+	// persistent genome index via Params.SeedIndex it queries candidate
+	// loci instead of rescanning the genome; without one it
+	// self-indexes per chromosome through the identical query path.
+	EngineSeedIndex EngineKind = "seed-index"
 	// EngineAP, EngineFPGA and EngineInfant are the modeled accelerator
 	// platforms.
 	EngineAP     EngineKind = "ap"
@@ -58,6 +64,7 @@ var AllEngines = []EngineKind{
 	EngineHyperscanLazy,
 	EngineCasOffinder, EngineCasOffinderGPU,
 	EngineCasOT, EngineCasOTIndex,
+	EngineSeedIndex,
 	EngineAP, EngineFPGA, EngineInfant,
 }
 
@@ -93,6 +100,11 @@ type Params struct {
 	// MergeStates / Stride2 toggle the spatial-platform optimizations.
 	MergeStates bool
 	Stride2     bool
+	// SeedIndex, when non-nil, binds EngineSeedIndex to a persistent
+	// genome index built offline (cmd/genomeindex): scans touch only
+	// candidate loci instead of re-walking the genome. Nil makes the
+	// engine self-index per chromosome. Other engines ignore it.
+	SeedIndex *seedindex.Index
 	// Metrics, when non-nil, is the recorder the search reports into —
 	// callers provide one to attach a Tracer or to aggregate several
 	// searches into one recorder. When nil the orchestrator creates a
@@ -218,6 +230,13 @@ func NewEngine(kind EngineKind, specs []arch.PatternSpec, p Params) (arch.Engine
 			return casot.NewIndex(specs, opt)
 		}
 		return casot.New(specs, opt)
+	case EngineSeedIndex:
+		e, err := seedindex.New(specs, p.SeedIndex, seedindex.Options{})
+		if err != nil {
+			return nil, err
+		}
+		e.Workers = p.Workers
+		return e, nil
 	case EngineAP:
 		return ap.Compile(specs, ap.Options{MergeStates: p.MergeStates, Stride2: p.Stride2})
 	case EngineFPGA:

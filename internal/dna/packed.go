@@ -1,6 +1,9 @@
 package dna
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Packed is a 2-bit-per-base packed sequence plus an ambiguity bitmap.
 // It is the memory layout Cas-OFFinder-style brute force scans use: a
@@ -104,6 +107,35 @@ func PackPatternWord(s Seq) uint64 {
 		w |= uint64(b) << uint(2*i)
 	}
 	return w
+}
+
+// Words exposes the raw storage planes (code words, ambiguity bitmap)
+// for serialization. The returned slices alias the Packed's storage and
+// must not be mutated.
+func (p *Packed) Words() (words, amb []uint64) { return p.words, p.amb }
+
+// FromWords reconstructs a Packed of n bases from serialized storage
+// planes, validating the slice lengths against n. The slices are
+// retained, not copied.
+func FromWords(words, amb []uint64, n int) (*Packed, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("dna: packed length %d negative", n)
+	}
+	if len(words) != (n+31)/32 || len(amb) != (n+63)/64 {
+		return nil, fmt.Errorf("dna: packed planes %d/%d words do not fit %d bases", len(words), len(amb), n)
+	}
+	return &Packed{words: words, amb: amb, n: n}, nil
+}
+
+// Unpack reconstructs the base-code sequence. Ambiguous positions come
+// back as BadBase: every non-ACGT source character canonicalizes to the
+// same sentinel, so Pack(p.Unpack()) reproduces p exactly.
+func (p *Packed) Unpack() Seq {
+	out := make(Seq, p.n)
+	for i := range out {
+		out[i] = p.Base(i)
+	}
+	return out
 }
 
 // Kmer encodes the width bases starting at pos as a 2-bit integer key

@@ -95,6 +95,47 @@ func (r *Reader) Read(p []byte) (int, error) {
 // Delivered returns the bytes passed through so far.
 func (r *Reader) Delivered() int64 { return r.delivered }
 
+// ReaderAt wraps an io.ReaderAt and fails deterministically: the Nth
+// ReadAt call (1-based FailOnCall) and every one after it returns Err.
+// It exercises random-access loaders (the genome seed index) the way
+// Reader exercises streams. Wrap Err with Transient to drive the
+// transient-classification path.
+type ReaderAt struct {
+	// Inner is the wrapped source.
+	Inner io.ReaderAt
+	// FailOnCall, when > 0, is the 1-based ReadAt call index at which
+	// injection starts. Zero never injects.
+	FailOnCall int
+	// Err is the injected error (default ErrInjected).
+	Err error
+
+	mu    sync.Mutex
+	calls int
+}
+
+// ReadAt implements io.ReaderAt with the configured fault.
+func (r *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	r.mu.Lock()
+	r.calls++
+	calls := r.calls
+	r.mu.Unlock()
+	if r.FailOnCall > 0 && calls >= r.FailOnCall {
+		err := r.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		return 0, err
+	}
+	return r.Inner.ReadAt(p, off)
+}
+
+// Calls returns how many ReadAt calls have been observed.
+func (r *ReaderAt) Calls() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls
+}
+
 // Engine wraps an arch.Engine and sabotages the Nth chromosome scan:
 // either by returning an error or, when Panic is set, by panicking in
 // the caller's goroutine — exactly the failure the orchestrator's

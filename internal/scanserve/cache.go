@@ -31,11 +31,18 @@ type genomeCache struct {
 
 // cacheEntry is one keyed load. ready is closed when g/err are final;
 // both are written exactly once, before the close, so readers that
-// waited on ready need no lock.
+// waited on ready need no lock. The derived seed index piggybacks on
+// the entry: built once per resident genome (idxOnce gives the same
+// single-flight guarantee as ready does for the load) and evicted with
+// it, so every seed-index job against one reference shares one table.
 type cacheEntry struct {
 	ready chan struct{}
 	g     *crisprscan.Genome
 	err   error
+
+	idxOnce sync.Once
+	idx     *crisprscan.SeedIndex
+	idxErr  error
 }
 
 // newGenomeCache builds a cache holding up to capacity genomes
@@ -63,6 +70,42 @@ func (c *genomeCache) key(path string) (string, error) {
 		return "", fmt.Errorf("scanserve: genome %s: %w", path, err)
 	}
 	return fmt.Sprintf("%s|%d|%d", path, fi.Size(), fi.ModTime().UnixNano()), nil
+}
+
+// getIndex returns the genome plus its shared seed index, building the
+// index at most once per resident entry. The build cost is what the
+// index amortizes: the first seed-index job against a reference pays
+// it, every later job (and every concurrent one) reuses the table.
+func (c *genomeCache) getIndex(ctx context.Context, path string) (*crisprscan.Genome, *crisprscan.SeedIndex, error) {
+	g, err := c.get(ctx, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	key, kerr := c.key(path)
+	e := c.entries[key]
+	c.mu.Unlock()
+	if kerr != nil || e == nil {
+		// Evicted (or the file changed) between get and here: build a
+		// private index rather than fail the job.
+		ix, berr := crisprscan.BuildSeedIndex(g, 0)
+		if berr != nil {
+			return nil, nil, fmt.Errorf("scanserve: building seed index for %s: %w", path, berr)
+		}
+		return g, ix, nil
+	}
+	e.idxOnce.Do(func() {
+		ix, berr := crisprscan.BuildSeedIndex(g, 0)
+		if berr != nil {
+			e.idxErr = fmt.Errorf("scanserve: building seed index for %s: %w", path, berr)
+			return
+		}
+		e.idx = ix
+	})
+	if e.idxErr != nil {
+		return nil, nil, e.idxErr
+	}
+	return g, e.idx, nil
 }
 
 // get returns the genome for path, loading it at most once per key no

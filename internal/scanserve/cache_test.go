@@ -152,3 +152,75 @@ func TestCacheKeyTracksFileIdentity(t *testing.T) {
 		t.Fatal("missing genome file produced no error")
 	}
 }
+
+// TestCacheSharedSeedIndex: every seed-index job against one resident
+// genome must receive the same built index, and the build must run
+// exactly once no matter how many jobs race for it.
+func TestCacheSharedSeedIndex(t *testing.T) {
+	paths := cacheFixture(t, 1)
+	g := crisprscan.SynthesizeGenome(crisprscan.SynthConfig{Seed: 31, ChromLen: 2000, NumChroms: 2})
+	c := newGenomeCache(2, func(path string) (*crisprscan.Genome, error) { return g, nil })
+
+	const jobs = 8
+	indexes := make([]*crisprscan.SeedIndex, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gg, ix, err := c.getIndex(context.Background(), paths[0])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if gg != g {
+				t.Error("getIndex returned a different genome")
+			}
+			indexes[i] = ix
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < jobs; i++ {
+		if indexes[i] != indexes[0] {
+			t.Fatalf("job %d got a private index; builds are not shared", i)
+		}
+	}
+	if indexes[0] == nil {
+		t.Fatal("no index built")
+	}
+	if err := indexes[0].ValidateGenome(g); err != nil {
+		t.Fatalf("shared index does not match the cached genome: %v", err)
+	}
+}
+
+// TestCacheIndexEvictedWithGenome: rotating the file identity rotates
+// the entry, so a later getIndex builds a fresh index rather than
+// serving one derived from the stale reference.
+func TestCacheIndexSurvivesWithinEntry(t *testing.T) {
+	paths := cacheFixture(t, 1)
+	g := crisprscan.SynthesizeGenome(crisprscan.SynthConfig{Seed: 32, ChromLen: 1500, NumChroms: 1})
+	c := newGenomeCache(1, func(path string) (*crisprscan.Genome, error) { return g, nil })
+
+	_, first, err := c.getIndex(context.Background(), paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, again, err := c.getIndex(context.Background(), paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatal("second getIndex on an unchanged file rebuilt the index")
+	}
+	// Change the file identity: the entry (and its index) must rotate.
+	if err := os.WriteFile(paths[0], []byte(">chr1\nACGTACGTACGT\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rotated, err := c.getIndex(context.Background(), paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rotated == first {
+		t.Fatal("file rotation served the stale index")
+	}
+}

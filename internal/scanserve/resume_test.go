@@ -194,3 +194,24 @@ func TestCrashResumeByteIdentical(t *testing.T) {
 		t.Fatalf("resumed journal has %d entries, want 3", len(doc.Entries))
 	}
 }
+
+// TestSeedIndexJobMatchesFullScan runs the same job through the
+// default full-scan engine and the cache-shared seed index: the service
+// must produce byte-identical output artifacts, proving the index path
+// is exact end to end (cache build, stale guards, streamed emission).
+func TestSeedIndexJobMatchesFullScan(t *testing.T) {
+	genomePath, spec := scanFixture(t)
+	refJob, full := runRealJob(t, t.TempDir(), genomePath, spec)
+	if refJob.Sites == 0 {
+		t.Fatal("fixture produced no sites; byte-identity would be vacuous")
+	}
+	idxSpec := spec
+	idxSpec.Engine = "seed-index"
+	idxJob, indexed := runRealJob(t, t.TempDir(), genomePath, idxSpec)
+	if idxJob.Sites != refJob.Sites {
+		t.Fatalf("seed-index job found %d sites, full scan %d", idxJob.Sites, refJob.Sites)
+	}
+	if !bytes.Equal(indexed, full) {
+		t.Fatal("seed-index job output differs from the full-scan artifact")
+	}
+}

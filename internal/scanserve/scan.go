@@ -34,12 +34,25 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // and fsyncing the output before each chromosome is committed, so a
 // crash at any instant resumes to byte-identical output.
 func (s *Service) scanAttempt(ctx context.Context, job *Job, rec *metrics.Recorder, prog *metrics.Progress) error {
-	g, err := s.cache.get(ctx, job.ResolvedGenome)
-	if err != nil {
-		return err
-	}
 	guides := job.Spec.guides()
 	params := job.Spec.params()
+	var g *crisprscan.Genome
+	var err error
+	if params.Engine == crisprscan.EngineSeedIndex {
+		// Seed-index jobs share one table per resident genome; the build
+		// is single-flight inside the cache entry.
+		var ix *crisprscan.SeedIndex
+		g, ix, err = s.cache.getIndex(ctx, job.ResolvedGenome)
+		if err != nil {
+			return err
+		}
+		params.SeedIndex = ix
+	} else {
+		g, err = s.cache.get(ctx, job.ResolvedGenome)
+		if err != nil {
+			return err
+		}
+	}
 	if params.Workers > s.cfg.Workers*4 && s.cfg.Workers > 0 {
 		// A tenant cannot commandeer the host by asking for 10k workers.
 		params.Workers = s.cfg.Workers * 4

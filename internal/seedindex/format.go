@@ -1,0 +1,383 @@
+package seedindex
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"github.com/cap-repro/crisprscan/internal/checkpoint"
+	"github.com/cap-repro/crisprscan/internal/dna"
+)
+
+// On-disk layout (all integers little-endian):
+//
+//	header (28 bytes):
+//	  [0:4)   magic "CSIX"
+//	  [4:8)   format version (uint32)
+//	  [8:12)  seed length (uint32)
+//	  [12:16) chromosome count (uint32)
+//	  [16:24) TOC byte length (uint64)
+//	  [24:28) CRC-32C of header bytes [0:24)
+//	TOC (tocLen bytes, one record per chromosome, in genome order):
+//	  nameLen uint32, name [nameLen]byte
+//	  seqLen uint64, seqSHA [32]byte
+//	  seqOff uint64, seqSize uint64, seqCRC uint32
+//	  seedOff uint64, seedSize uint64, seedCRC uint32
+//	TOC CRC-32C (4 bytes)
+//	sections (absolute offsets recorded in the TOC):
+//	  sequence section: packed code words then ambiguity words, both
+//	    []uint64; counts derive from seqLen ((n+31)/32 and (n+63)/64)
+//	  seed section: keyCount uint32, keys [keyCount]uint32,
+//	    starts [keyCount+1]uint32, postings [starts[keyCount]]uint32
+//
+// Every section carries its own CRC so corruption localizes; the header
+// and TOC CRCs make truncation and bit rot in the metadata fail closed
+// before any section is trusted.
+const (
+	formatMagic   = "CSIX"
+	formatVersion = 1
+	headerSize    = 28
+)
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms that matter.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Sentinel error classes. All index failures are permanent under the
+// scan service's taxonomy (retrying cannot fix a corrupt or stale
+// file); I/O errors from the underlying reader are wrapped with %w so a
+// transient-marked cause keeps its classification.
+var (
+	// ErrCorrupt marks structural damage: bad magic, checksum
+	// mismatch, truncation, or impossible geometry.
+	ErrCorrupt = errors.New("seedindex: index corrupt")
+	// ErrVersion marks a format-version skew: the file is well-formed
+	// but written by an incompatible build.
+	ErrVersion = errors.New("seedindex: unsupported index version")
+	// ErrStale marks an index whose content hashes no longer match the
+	// reference it is asked to serve.
+	ErrStale = errors.New("seedindex: index does not match genome")
+)
+
+// Encode serializes the index to its on-disk byte form. The encoding is
+// fully deterministic — no timestamps, map iteration, or padding
+// garbage — so two builds of the same genome are byte-identical (the
+// build-determinism test pins this).
+func (ix *Index) Encode() []byte {
+	// Section payloads first, so the TOC can carry real offsets.
+	seqSecs := make([][]byte, len(ix.Chroms))
+	seedSecs := make([][]byte, len(ix.Chroms))
+	tocSize := 0
+	sectionsSize := 0
+	for i := range ix.Chroms {
+		c := &ix.Chroms[i]
+		seqSecs[i] = encodeSeqSection(c.Packed)
+		seedSecs[i] = encodeSeedSection(&c.table)
+		tocSize += 4 + len(c.Name) + 8 + 32 + (8+8+4)*2
+		sectionsSize += len(seqSecs[i]) + len(seedSecs[i])
+	}
+	buf := make([]byte, 0, headerSize+tocSize+4+sectionsSize)
+
+	// Header.
+	buf = append(buf, formatMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ix.SeedLen))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ix.Chroms)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(tocSize))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+
+	// TOC.
+	off := uint64(headerSize + tocSize + 4)
+	tocStart := len(buf)
+	for i := range ix.Chroms {
+		c := &ix.Chroms[i]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Name)))
+		buf = append(buf, c.Name...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c.SeqLen))
+		buf = append(buf, c.SeqSHA[:]...)
+		for _, sec := range [][]byte{seqSecs[i], seedSecs[i]} {
+			buf = binary.LittleEndian.AppendUint64(buf, off)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(len(sec)))
+			buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(sec, crcTable))
+			off += uint64(len(sec))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[tocStart:], crcTable))
+
+	// Sections.
+	for i := range ix.Chroms {
+		buf = append(buf, seqSecs[i]...)
+		buf = append(buf, seedSecs[i]...)
+	}
+	return buf
+}
+
+func encodeSeqSection(p *dna.Packed) []byte {
+	words, amb := p.Words()
+	buf := make([]byte, 0, 8*(len(words)+len(amb)))
+	for _, w := range words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	for _, w := range amb {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+func encodeSeedSection(t *seedTable) []byte {
+	buf := make([]byte, 0, 4*(1+len(t.keys)+len(t.starts)+len(t.postings)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.keys)))
+	for _, k := range t.keys {
+		buf = binary.LittleEndian.AppendUint32(buf, k)
+	}
+	for _, s := range t.starts {
+		buf = binary.LittleEndian.AppendUint32(buf, s)
+	}
+	for _, p := range t.postings {
+		buf = binary.LittleEndian.AppendUint32(buf, p)
+	}
+	return buf
+}
+
+// WriteFile encodes the index and writes it crash-safely (temp file,
+// fsync, rename): a torn write leaves the previous file intact, never a
+// half-written index.
+func (ix *Index) WriteFile(path string) error {
+	if err := checkpoint.AtomicWriteFile(path, ix.Encode()); err != nil {
+		return fmt.Errorf("seedindex: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// readAt fetches exactly n bytes at off, mapping short reads to
+// ErrCorrupt (a truncated file) while preserving the underlying error
+// chain for classification.
+func readAt(r io.ReaderAt, off int64, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	got, err := r.ReadAt(buf, off)
+	if got == n {
+		return buf, nil
+	}
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return nil, fmt.Errorf("%w: truncated at offset %d (wanted %d bytes, file ends after %d)", ErrCorrupt, off, n, got)
+	}
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return nil, fmt.Errorf("seedindex: read %d bytes at offset %d: %w", n, off, err)
+}
+
+// Read decodes an index from any io.ReaderAt (a file, an mmap window, a
+// byte slice wrapped in bytes.NewReader). Every structural field is
+// bounds-checked and every section checksum verified before the data is
+// trusted: a damaged file fails closed here, never as silently wrong
+// scan output.
+func Read(r io.ReaderAt) (*Index, error) {
+	hdr, err := readAt(r, 0, headerSize)
+	if err != nil {
+		return nil, err
+	}
+	if string(hdr[0:4]) != formatMagic {
+		return nil, fmt.Errorf("%w: bad magic %q (not a genome seed index)", ErrCorrupt, hdr[0:4])
+	}
+	if crc32.Checksum(hdr[:24], crcTable) != binary.LittleEndian.Uint32(hdr[24:28]) {
+		return nil, fmt.Errorf("%w: header checksum mismatch", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != formatVersion {
+		return nil, fmt.Errorf("%w: file version %d, this build reads version %d", ErrVersion, v, formatVersion)
+	}
+	seedLen := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	chromCount := int(binary.LittleEndian.Uint32(hdr[12:16]))
+	tocLen := binary.LittleEndian.Uint64(hdr[16:24])
+	if seedLen < MinSeedLen || seedLen > MaxSeedLen {
+		return nil, fmt.Errorf("%w: seed length %d out of range %d..%d", ErrCorrupt, seedLen, MinSeedLen, MaxSeedLen)
+	}
+	if tocLen > 1<<30 || chromCount > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible TOC geometry (%d chromosomes, %d TOC bytes)", ErrCorrupt, chromCount, tocLen)
+	}
+	toc, err := readAt(r, headerSize, int(tocLen)+4)
+	if err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(toc[:tocLen], crcTable) != binary.LittleEndian.Uint32(toc[tocLen:]) {
+		return nil, fmt.Errorf("%w: TOC checksum mismatch", ErrCorrupt)
+	}
+
+	ix := &Index{SeedLen: seedLen, byName: make(map[string]int, chromCount)}
+	d := tocDecoder{buf: toc[:tocLen]}
+	for i := 0; i < chromCount; i++ {
+		nameLen := d.u32()
+		if nameLen > 1<<16 {
+			return nil, fmt.Errorf("%w: chromosome %d name length %d implausible", ErrCorrupt, i, nameLen)
+		}
+		name := string(d.bytes(int(nameLen)))
+		seqLen := d.u64()
+		var sha [32]byte
+		copy(sha[:], d.bytes(32))
+		seqOff, seqSize, seqCRC := d.u64(), d.u64(), d.u32()
+		seedOff, seedSize, seedCRC := d.u64(), d.u64(), d.u32()
+		if d.err {
+			return nil, fmt.Errorf("%w: TOC ends mid-record (chromosome %d)", ErrCorrupt, i)
+		}
+		if seqLen > 1<<40 || seqSize > 1<<40 || seedSize > 1<<40 {
+			return nil, fmt.Errorf("%w: chromosome %q implausible section geometry", ErrCorrupt, name)
+		}
+		if _, dup := ix.byName[name]; dup {
+			return nil, fmt.Errorf("%w: duplicate chromosome %q", ErrCorrupt, name)
+		}
+
+		seqSec, err := readAt(r, int64(seqOff), int(seqSize))
+		if err != nil {
+			return nil, fmt.Errorf("seedindex: chromosome %q sequence section: %w", name, err)
+		}
+		if crc32.Checksum(seqSec, crcTable) != seqCRC {
+			return nil, fmt.Errorf("%w: chromosome %q sequence section checksum mismatch", ErrCorrupt, name)
+		}
+		packed, err := decodeSeqSection(seqSec, int(seqLen))
+		if err != nil {
+			return nil, fmt.Errorf("seedindex: chromosome %q: %w", name, err)
+		}
+
+		seedSec, err := readAt(r, int64(seedOff), int(seedSize))
+		if err != nil {
+			return nil, fmt.Errorf("seedindex: chromosome %q seed section: %w", name, err)
+		}
+		if crc32.Checksum(seedSec, crcTable) != seedCRC {
+			return nil, fmt.Errorf("%w: chromosome %q seed section checksum mismatch", ErrCorrupt, name)
+		}
+		table, err := decodeSeedSection(seedSec, int(seqLen), seedLen)
+		if err != nil {
+			return nil, fmt.Errorf("seedindex: chromosome %q: %w", name, err)
+		}
+
+		ix.byName[name] = len(ix.Chroms)
+		ix.Chroms = append(ix.Chroms, ChromIndex{
+			Name:   name,
+			SeqLen: int(seqLen),
+			SeqSHA: sha,
+			Packed: packed,
+			table:  table,
+		})
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("%w: %d trailing TOC bytes", ErrCorrupt, len(d.buf)-d.off)
+	}
+	return ix, nil
+}
+
+// Load opens and decodes an index file.
+func Load(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("seedindex: %w", err)
+	}
+	defer f.Close()
+	ix, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("seedindex: %s: %w", path, err)
+	}
+	return ix, nil
+}
+
+// tocDecoder cursors over the TOC buffer; out-of-bounds reads set err
+// instead of panicking so the caller reports one clean corruption error.
+type tocDecoder struct {
+	buf []byte
+	off int
+	err bool
+}
+
+func (d *tocDecoder) bytes(n int) []byte {
+	if d.off+n > len(d.buf) {
+		d.err = true
+		return make([]byte, n)
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *tocDecoder) u32() uint32 {
+	return binary.LittleEndian.Uint32(d.bytes(4))
+}
+
+func (d *tocDecoder) u64() uint64 {
+	return binary.LittleEndian.Uint64(d.bytes(8))
+}
+
+func decodeSeqSection(sec []byte, seqLen int) (*dna.Packed, error) {
+	wordCount := (seqLen + 31) / 32
+	ambCount := (seqLen + 63) / 64
+	if len(sec) != 8*(wordCount+ambCount) {
+		return nil, fmt.Errorf("%w: sequence section is %d bytes, %d bases need %d", ErrCorrupt, len(sec), seqLen, 8*(wordCount+ambCount))
+	}
+	words := make([]uint64, wordCount)
+	amb := make([]uint64, ambCount)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(sec[8*i:])
+	}
+	for i := range amb {
+		amb[i] = binary.LittleEndian.Uint64(sec[8*(wordCount+i):])
+	}
+	p, err := dna.FromWords(words, amb, seqLen)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return p, nil
+}
+
+func decodeSeedSection(sec []byte, seqLen, seedLen int) (seedTable, error) {
+	var t seedTable
+	if len(sec) < 4 {
+		return t, fmt.Errorf("%w: seed section shorter than its key count", ErrCorrupt)
+	}
+	keyCount := int(binary.LittleEndian.Uint32(sec))
+	want := 4 * (1 + keyCount + keyCount + 1)
+	if keyCount > 1<<30 || len(sec) < want {
+		return t, fmt.Errorf("%w: seed section is %d bytes, %d keys need at least %d", ErrCorrupt, len(sec), keyCount, want)
+	}
+	u32s := func(off, n int) []uint32 {
+		out := make([]uint32, n)
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint32(sec[off+4*i:])
+		}
+		return out
+	}
+	t.keys = u32s(4, keyCount)
+	t.starts = u32s(4+4*keyCount, keyCount+1)
+	postingCount := int(t.starts[keyCount])
+	if len(sec) != want+4*postingCount {
+		return t, fmt.Errorf("%w: seed section is %d bytes, geometry demands %d", ErrCorrupt, len(sec), want+4*postingCount)
+	}
+	t.postings = u32s(want, postingCount)
+
+	// Structural invariants: keys strictly ascending, starts
+	// non-decreasing from 0, postings in range and ascending per key. A
+	// table violating them would break the binary search silently.
+	keyLimit := uint64(1) << (2 * uint(seedLen))
+	for i, k := range t.keys {
+		if uint64(k) >= keyLimit || (i > 0 && t.keys[i-1] >= k) {
+			return t, fmt.Errorf("%w: seed keys not strictly ascending in range", ErrCorrupt)
+		}
+	}
+	if t.starts[0] != 0 {
+		return t, fmt.Errorf("%w: seed starts do not begin at 0", ErrCorrupt)
+	}
+	for i := 1; i <= keyCount; i++ {
+		if t.starts[i] < t.starts[i-1] {
+			return t, fmt.Errorf("%w: seed starts decrease", ErrCorrupt)
+		}
+	}
+	maxStart := seqLen - seedLen
+	for i := 0; i < keyCount; i++ {
+		for j := int(t.starts[i]); j < int(t.starts[i+1]); j++ {
+			if int(t.postings[j]) > maxStart || (j > int(t.starts[i]) && t.postings[j-1] >= t.postings[j]) {
+				return t, fmt.Errorf("%w: posting list for key %d malformed", ErrCorrupt, i)
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,208 @@
+package seedindex_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/arch"
+	"github.com/cap-repro/crisprscan/internal/automata"
+	"github.com/cap-repro/crisprscan/internal/dna"
+	"github.com/cap-repro/crisprscan/internal/faultinject"
+	"github.com/cap-repro/crisprscan/internal/genome"
+	"github.com/cap-repro/crisprscan/internal/scanserve"
+	"github.com/cap-repro/crisprscan/internal/seedindex"
+)
+
+// The robustness battery: every way an index file can go bad must fail
+// closed with a wrapped, classified error — never load into silently
+// wrong scan results. Damage classes map to the scan service's error
+// taxonomy: corruption, version skew and staleness are permanent
+// (retrying cannot fix the file); injected I/O faults keep whatever
+// classification the underlying error carries.
+
+func buildEncoded(t *testing.T) (*seedindex.Index, []byte, *genome.Genome) {
+	t.Helper()
+	g := genome.Synthesize(genome.SynthConfig{Seed: 9, NumChroms: 2, ChromLen: 700, NRunRate: 50, NRunLen: 20})
+	ix, err := seedindex.Build(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, ix.Encode(), g
+}
+
+func TestTruncatedFileFailsClosed(t *testing.T) {
+	_, enc, _ := buildEncoded(t)
+	for _, cut := range []int{0, 3, 27, 60, len(enc) / 2, len(enc) - 1} {
+		_, err := seedindex.Read(bytes.NewReader(enc[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d loaded successfully", cut, len(enc))
+		}
+		if !errors.Is(err, seedindex.ErrCorrupt) {
+			t.Fatalf("truncation at %d: error %v is not ErrCorrupt", cut, err)
+		}
+		if scanserve.Classify(err) != scanserve.ClassPermanent {
+			t.Fatalf("truncation at %d classified %v, want Permanent", cut, scanserve.Classify(err))
+		}
+	}
+}
+
+// TestEveryBitFlipFailsClosed sweeps a single-bit flip across the whole
+// file: the layered checksums (header, TOC, per-section) must catch all
+// of them. This is the strongest form of the "never silently wrong"
+// claim for stored bytes.
+func TestEveryBitFlipFailsClosed(t *testing.T) {
+	_, enc, _ := buildEncoded(t)
+	flipped := make([]byte, len(enc))
+	for i := range enc {
+		copy(flipped, enc)
+		flipped[i] ^= 1
+		if _, err := seedindex.Read(bytes.NewReader(flipped)); err == nil {
+			t.Fatalf("bit flip at byte %d/%d loaded successfully", i, len(enc))
+		}
+	}
+}
+
+func TestSectionBitFlipIsCorrupt(t *testing.T) {
+	_, enc, _ := buildEncoded(t)
+	// Flip a byte deep in the section area (past header + TOC).
+	mut := append([]byte(nil), enc...)
+	mut[len(mut)-10] ^= 0x40
+	_, err := seedindex.Read(bytes.NewReader(mut))
+	if !errors.Is(err, seedindex.ErrCorrupt) {
+		t.Fatalf("section flip error %v, want ErrCorrupt", err)
+	}
+	if scanserve.Classify(err) != scanserve.ClassPermanent {
+		t.Fatalf("section flip classified %v, want Permanent", scanserve.Classify(err))
+	}
+}
+
+func TestVersionSkewFailsClosed(t *testing.T) {
+	_, enc, _ := buildEncoded(t)
+	mut := append([]byte(nil), enc...)
+	// Bump the version field and re-seal the header checksum so the
+	// failure is attributed to the version, not to corruption.
+	binary.LittleEndian.PutUint32(mut[4:8], 99)
+	crc := crc32.Checksum(mut[:24], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(mut[24:28], crc)
+	_, err := seedindex.Read(bytes.NewReader(mut))
+	if !errors.Is(err, seedindex.ErrVersion) {
+		t.Fatalf("version skew error %v, want ErrVersion", err)
+	}
+	if scanserve.Classify(err) != scanserve.ClassPermanent {
+		t.Fatalf("version skew classified %v, want Permanent", scanserve.Classify(err))
+	}
+}
+
+func TestNotAnIndexFailsClosed(t *testing.T) {
+	_, err := seedindex.Read(bytes.NewReader([]byte(">chr1\nACGTACGTACGT\n")))
+	if !errors.Is(err, seedindex.ErrCorrupt) {
+		t.Fatalf("FASTA-as-index error %v, want ErrCorrupt", err)
+	}
+}
+
+// TestStaleIndexFailsClosed covers the mutated-FASTA case end to end:
+// content-hash validation rejects the pair, and the engine's cheap
+// per-chromosome guards reject structural drift even without a
+// validation call.
+func TestStaleIndexFailsClosed(t *testing.T) {
+	ix, _, g := buildEncoded(t)
+
+	mutated := genome.Synthesize(genome.SynthConfig{Seed: 9, NumChroms: 2, ChromLen: 700, NRunRate: 50, NRunLen: 20})
+	mutated.Chroms[0].Seq[123] ^= 2
+	err := ix.ValidateGenome(mutated)
+	if !errors.Is(err, seedindex.ErrStale) {
+		t.Fatalf("mutated FASTA validation error %v, want ErrStale", err)
+	}
+	if scanserve.Classify(err) != scanserve.ClassPermanent {
+		t.Fatalf("stale classified %v, want Permanent", scanserve.Classify(err))
+	}
+
+	// Renamed chromosome: engine refuses at scan time.
+	e := engineFor(t, ix)
+	drop := func(automata.Report) {}
+	renamed := genome.New(genome.Chromosome{Name: "other", Seq: g.Chroms[0].Seq})
+	scanErr := e.ScanChrom(&renamed.Chroms[0], drop)
+	if !errors.Is(scanErr, seedindex.ErrStale) {
+		t.Fatalf("renamed chromosome scan error %v, want ErrStale", scanErr)
+	}
+
+	// Length drift: engine refuses at scan time.
+	short := genome.New(genome.Chromosome{Name: g.Chroms[0].Name, Seq: g.Chroms[0].Seq[:600]})
+	scanErr = e.ScanChrom(&short.Chroms[0], drop)
+	if !errors.Is(scanErr, seedindex.ErrStale) {
+		t.Fatalf("length-drift scan error %v, want ErrStale", scanErr)
+	}
+
+	// Same-shape content drift: name and length agree, only the bases
+	// changed — the per-chromosome content hash must still refuse.
+	edited := append(dna.Seq(nil), g.Chroms[0].Seq...)
+	edited[50] ^= 1
+	drifted := genome.New(genome.Chromosome{Name: g.Chroms[0].Name, Seq: edited})
+	scanErr = e.ScanChrom(&drifted.Chroms[0], drop)
+	if !errors.Is(scanErr, seedindex.ErrStale) {
+		t.Fatalf("content-drift scan error %v, want ErrStale", scanErr)
+	}
+}
+
+// engineFor builds a one-guide engine bound to ix.
+func engineFor(t *testing.T, ix *seedindex.Index) *seedindex.Engine {
+	t.Helper()
+	spec := arch.PatternSpec{
+		Spacer: dna.MustParsePattern("ACGTACGTACGTACGTACGT"),
+		PAM:    dna.MustParsePattern("NGG"),
+		K:      3,
+		Code:   0,
+	}
+	e, err := seedindex.New([]arch.PatternSpec{spec}, ix, seedindex.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestFaultyReaderAt injects I/O failures at every call index: loads
+// must fail with the injected error in the chain, and a transient-
+// marked cause must classify transient (the scan service will retry the
+// load, which is exactly right for flaky storage).
+func TestFaultyReaderAt(t *testing.T) {
+	_, enc, _ := buildEncoded(t)
+
+	// Count the calls a clean load takes, then fail each one in turn.
+	probe := &faultinject.ReaderAt{Inner: bytes.NewReader(enc)}
+	if _, err := seedindex.Read(probe); err != nil {
+		t.Fatalf("clean load through pass-through wrapper: %v", err)
+	}
+	total := probe.Calls()
+	if total < 3 {
+		t.Fatalf("expected at least header+TOC+section reads, got %d", total)
+	}
+	for call := 1; call <= total; call++ {
+		r := &faultinject.ReaderAt{
+			Inner:      bytes.NewReader(enc),
+			FailOnCall: call,
+			Err:        faultinject.Transient(faultinject.ErrInjected),
+		}
+		_, err := seedindex.Read(r)
+		if err == nil {
+			t.Fatalf("injected failure on call %d/%d loaded successfully", call, total)
+		}
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("call %d: injected cause lost from chain: %v", call, err)
+		}
+		if scanserve.Classify(err) != scanserve.ClassTransient {
+			t.Fatalf("call %d: transient fault classified %v: %v", call, scanserve.Classify(err), err)
+		}
+	}
+}
+
+// TestLoadMissingFile pins the plain-I/O error path of Load.
+func TestLoadMissingFile(t *testing.T) {
+	_, err := seedindex.Load(t.TempDir() + "/nope.csix")
+	if err == nil || !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file error %v, want os.ErrNotExist in chain", err)
+	}
+}

@@ -15,7 +15,7 @@ import (
 // runs on a measured engine and a modeled engine so both execution
 // families are covered.
 
-var metamorphicEngines = []Engine{EngineHyperscan, EngineCasOffinder, EngineAP}
+var metamorphicEngines = []Engine{EngineHyperscan, EngineCasOffinder, EngineAP, EngineSeedIndex}
 
 func metamorphicFixture(t *testing.T) (*Genome, []Guide) {
 	t.Helper()
