@@ -1,310 +1,69 @@
-// Command allocgate is the escape-analysis regression gate for the scan
-// kernels. The hotpath analyzer (internal/analysis) enforces
-// allocation-freedom syntactically and through go/types; allocgate
-// closes the loop with the compiler's own verdict: it runs
+// Command allocgate is a deprecated shim over cmd/perfgate, kept so
+// existing invocations (scripts, muscle memory, old CI configs) keep
+// working while callers move over. It gates only the escape budget —
+// the one allocgate historically owned — against the shared
+// PERF_BASELINE.txt, and preserves allocgate's historic exit code 3
+// for new escapes.
 //
-//	go build -gcflags='<pkg>=-m' <pkg>
+// Differences from the original:
 //
-// over every package containing a //crisprlint:hotpath directive,
-// parses the escape-analysis diagnostics ("escapes to heap",
-// "moved to heap"), and attributes each verdict to the hot function
-// whose source span contains it. Verdicts are keyed by
-// (package, function, message) rather than file:line, so unrelated
-// edits that shift line numbers do not churn the baseline.
+//   - the baseline is PERF_BASELINE.txt (perfgate schema); a legacy
+//     ALLOC_BASELINE.txt passed via -baseline is still readable, and
+//     `perfgate -migrate ALLOC_BASELINE.txt` imports it one-shot
+//   - -update regenerates the full perfgate baseline (all three
+//     budgets), never an escape-only file: a partial rewrite would
+//     silently drop the inline and bounds budgets
 //
-// Modes:
-//
-//	allocgate                  print the current hot-function escapes
-//	allocgate -update          rewrite ALLOC_BASELINE.txt atomically
-//	allocgate -compare FILE    diff against FILE; new escapes exit 3
-//
-// The baseline file carries a schema header (same discipline as the
-// BENCH trajectory files): a version mismatch is a hard error, never a
-// silent pass. -update writes via temp-file + rename so a crashed run
-// cannot leave a truncated baseline behind.
-//
-// Exit codes: 0 clean, 3 new escapes in -compare mode, 1 operational
-// error (build failure, malformed baseline).
+// Use `go run ./cmd/perfgate` directly for the full gate (escape,
+// inline, and bounds budgets with distinct exit codes).
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"flag"
 	"fmt"
-	"go/token"
 	"io"
 	"os"
-	"os/exec"
 	"path/filepath"
-	"regexp"
-	"sort"
-	"strconv"
-	"strings"
 
-	"github.com/cap-repro/crisprscan/internal/analysis"
+	"github.com/cap-repro/crisprscan/internal/perfgate"
 )
-
-const schemaHeader = "# allocgate escape baseline, schema v1"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 func run(argv []string, stdout, stderr io.Writer) int {
+	// Deprecation warning: once per invocation, before any mode output.
+	fmt.Fprintln(stderr, "allocgate: deprecated shim; forwarding to perfgate's escape budget — use `go run ./cmd/perfgate` for the full compiler-feedback gate")
+
 	fs := flag.NewFlagSet("allocgate", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	update := fs.Bool("update", false, "rewrite the baseline with the current verdicts")
-	compare := fs.String("compare", "", "baseline file to diff against; new escapes exit 3")
-	baseline := fs.String("baseline", "ALLOC_BASELINE.txt", "baseline path written by -update")
-	dir := fs.String("dir", ".", "module root to analyze")
+	dir := fs.String("dir", ".", "module root to gate")
+	baseline := fs.String("baseline", "", "baseline `file` (default <dir>/PERF_BASELINE.txt)")
+	update := fs.Bool("update", false, "regenerate the full perfgate baseline (all budgets), preserving justifications")
+	compare := fs.String("compare", "", "compare current escape verdicts against the escape budget in `file` (allocgate's historic calling convention; perfgate and legacy allocgate schemas both accepted)")
 	if err := fs.Parse(argv); err != nil {
 		return 1
 	}
+	if *baseline == "" {
+		*baseline = filepath.Join(*dir, "PERF_BASELINE.txt")
+	}
+	escapeOnly := map[perfgate.Class]bool{perfgate.ClassEscape: true}
 
-	entries, err := collect(*dir, stderr)
+	switch {
+	case *update:
+		return perfgate.Update(*dir, *baseline, stdout, stderr)
+	case *compare != "":
+		return perfgate.Compare(*dir, *compare, escapeOnly, stdout, stderr)
+	}
+
+	entries, err := perfgate.Collect(*dir, escapeOnly)
 	if err != nil {
 		fmt.Fprintf(stderr, "allocgate: %v\n", err)
 		return 1
 	}
-
-	basePath := *baseline
-	if !filepath.IsAbs(basePath) {
-		basePath = filepath.Join(*dir, basePath)
-	}
-
-	switch {
-	case *update:
-		if err := writeBaseline(basePath, entries); err != nil {
-			fmt.Fprintf(stderr, "allocgate: %v\n", err)
-			return 1
-		}
-		fmt.Fprintf(stdout, "allocgate: wrote %d entr%s to %s\n", len(entries), plural(len(entries), "y", "ies"), *baseline)
-		return 0
-	case *compare != "":
-		old, err := readBaseline(*compare)
-		if err != nil {
-			fmt.Fprintf(stderr, "allocgate: %v\n", err)
-			return 1
-		}
-		return diff(old, entries, stdout, stderr)
-	default:
-		if len(entries) == 0 {
-			fmt.Fprintln(stdout, "allocgate: no heap escapes in hot functions")
-			return 0
-		}
-		for _, e := range entries {
-			fmt.Fprintln(stdout, e)
-		}
-		return 0
-	}
-}
-
-func plural(n int, one, many string) string {
-	if n == 1 {
-		return one
-	}
-	return many
-}
-
-// hotSpan is the source extent of one //crisprlint:hotpath function.
-type hotSpan struct {
-	name       string
-	start, end int // inclusive line range
-}
-
-// collect loads the module, finds every hot function, compiles each
-// package that contains one with -gcflags=-m, and returns the sorted
-// heap-escape entries attributed to hot functions. The build cache
-// replays -m diagnostics on cache hits, so repeated runs are cheap.
-func collect(dir string, stderr io.Writer) ([]string, error) {
-	// The compiler prints paths relative to the working directory; the
-	// loader records absolute ones. Work in absolute space throughout.
-	dir, err := filepath.Abs(dir)
-	if err != nil {
-		return nil, err
-	}
-	fset := token.NewFileSet()
-	prog, err := analysis.Load(fset, dir, "./...")
-	if err != nil {
-		return nil, err
-	}
-
-	spans := make(map[string][]hotSpan) // absolute filename -> hot spans
-	var hotPkgs []string
-	for path, pkg := range prog.Packages {
-		hot := false
-		for _, f := range pkg.Files {
-			for _, hf := range analysis.HotFuncs(fset, f) {
-				pos := fset.Position(hf.Pos)
-				spans[pos.Filename] = append(spans[pos.Filename], hotSpan{
-					name:  hf.Name,
-					start: pos.Line,
-					end:   fset.Position(hf.End).Line,
-				})
-				hot = true
-			}
-		}
-		if hot {
-			hotPkgs = append(hotPkgs, path)
-		}
-	}
-	sort.Strings(hotPkgs)
-	if len(hotPkgs) == 0 {
-		return nil, nil
-	}
-
-	var entries []string
-	for _, pkgPath := range hotPkgs {
-		out, err := escapeDiagnostics(dir, pkgPath)
-		if err != nil {
-			return nil, err
-		}
-		entries = append(entries, attribute(dir, prog.Packages[pkgPath].Path, out, spans)...)
-	}
-	sort.Strings(entries)
-	return entries, nil
-}
-
-// escapeDiagnostics compiles one package with escape-analysis output
-// enabled and returns the compiler's stderr.
-func escapeDiagnostics(dir, pkgPath string) (string, error) {
-	cmd := exec.Command("go", "build", "-gcflags="+pkgPath+"=-m", pkgPath)
-	cmd.Dir = dir
-	var buf bytes.Buffer
-	cmd.Stdout = &buf
-	cmd.Stderr = &buf
-	if err := cmd.Run(); err != nil {
-		return "", fmt.Errorf("go build -gcflags=-m %s: %w\n%s", pkgPath, err, buf.String())
-	}
-	return buf.String(), nil
-}
-
-// diagLine matches one compiler diagnostic: path:line:col: message.
-var diagLine = regexp.MustCompile(`^([^\s:]+\.go):(\d+):(\d+): (.*)$`)
-
-// attribute turns raw -m output into baseline entries: only heap
-// verdicts ("escapes to heap", "moved to heap"), and only inside the
-// innermost hot-function span containing the diagnostic's line.
-func attribute(dir, pkgPath, out string, spans map[string][]hotSpan) []string {
-	var entries []string
-	sc := bufio.NewScanner(strings.NewReader(out))
-	for sc.Scan() {
-		line := sc.Text()
-		m := diagLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		msg := m[4]
-		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
-			continue
-		}
-		file := m[1]
-		if !filepath.IsAbs(file) {
-			file = filepath.Join(dir, file)
-		}
-		n, _ := strconv.Atoi(m[2])
-		if fn := innermost(spans[file], n); fn != "" {
-			entries = append(entries, fmt.Sprintf("%s %s: %s", pkgPath, fn, msg))
-		}
-	}
-	return entries
-}
-
-// innermost returns the name of the smallest hot span containing line,
-// or "" when the line is outside every hot function.
-func innermost(spans []hotSpan, line int) string {
-	best, bestSize := "", 0
-	for _, s := range spans {
-		if line < s.start || line > s.end {
-			continue
-		}
-		if size := s.end - s.start; best == "" || size < bestSize {
-			best, bestSize = s.name, size
-		}
-	}
-	return best
-}
-
-// writeBaseline writes entries under the schema header via temp-file +
-// rename, so a crashed run never leaves a truncated baseline.
-func writeBaseline(path string, entries []string) error {
-	var buf bytes.Buffer
-	fmt.Fprintln(&buf, schemaHeader)
-	fmt.Fprintln(&buf, "# regenerate with: go run ./cmd/allocgate -update")
 	for _, e := range entries {
-		fmt.Fprintln(&buf, e)
+		fmt.Fprintf(stdout, "%s | x%d\n", e.Key(), e.Count)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".allocgate-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
-}
-
-// readBaseline parses a baseline file, enforcing the schema header.
-func readBaseline(path string) ([]string, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
-	if len(lines) == 0 || lines[0] != schemaHeader {
-		return nil, fmt.Errorf("%s: missing or unsupported schema header (want %q)", path, schemaHeader)
-	}
-	var entries []string
-	for _, l := range lines[1:] {
-		l = strings.TrimSpace(l)
-		if l == "" || strings.HasPrefix(l, "#") {
-			continue
-		}
-		entries = append(entries, l)
-	}
-	return entries, nil
-}
-
-// diff compares baseline and current entries as multisets. New escapes
-// are regressions (exit 3); resolved ones are reported as candidates
-// for -update (exit 0).
-func diff(old, cur []string, stdout, stderr io.Writer) int {
-	count := make(map[string]int)
-	for _, e := range old {
-		count[e]++
-	}
-	var fresh []string
-	for _, e := range cur {
-		if count[e] > 0 {
-			count[e]--
-			continue
-		}
-		fresh = append(fresh, e)
-	}
-	var resolved []string
-	for e, n := range count {
-		for i := 0; i < n; i++ {
-			resolved = append(resolved, e)
-		}
-	}
-	sort.Strings(resolved)
-	for _, e := range resolved {
-		fmt.Fprintf(stdout, "allocgate: resolved (refresh with -update): %s\n", e)
-	}
-	if len(fresh) == 0 {
-		fmt.Fprintf(stdout, "allocgate: no new heap escapes in hot functions (%d baselined)\n", len(old))
-		return 0
-	}
-	for _, e := range fresh {
-		fmt.Fprintf(stderr, "allocgate: NEW heap escape: %s\n", e)
-	}
-	fmt.Fprintf(stderr, "allocgate: %d new heap escape%s in hot functions; fix or justify, then -update\n",
-		len(fresh), plural(len(fresh), "", "s"))
-	return 3
+	return 0
 }

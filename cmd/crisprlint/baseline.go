@@ -1,0 +1,155 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline suppression for standalone mode. A baseline file lets a new
+// analyzer land module-wide with an honest burn-down list instead of
+// day-one //crisprlint:allow sprinkling: existing findings are recorded
+// once (sorted, schema-versioned, written via temp-file + rename like
+// the perfgate and benchjson baselines), suppressed on later runs, and
+// the file shrinks as the findings are fixed. Entries are keyed by
+// (file, analyzer, message) with an occurrence count — line and column
+// are deliberately excluded so unrelated edits above a finding do not
+// invalidate the baseline, and a count increase (a new instance of a
+// baselined finding) still fails the run.
+const lintBaselineSchema = "# crisprlint suppression baseline, schema v1"
+
+// baselineKey identifies findings for suppression purposes. File paths
+// are normalized to slash-separated module-root-relative form so the
+// committed baseline is portable across checkouts.
+func baselineKey(f jsonFinding) string {
+	return normalizePath(f.File) + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+func normalizePath(file string) string {
+	if filepath.IsAbs(file) {
+		if wd, err := os.Getwd(); err == nil {
+			if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// writeLintBaseline aggregates findings by key and writes the sorted
+// baseline atomically (temp file + rename in the destination directory,
+// so a crashed run never leaves a torn file).
+func writeLintBaseline(path string, findings []jsonFinding) error {
+	counts := map[string]int{}
+	for _, f := range findings {
+		counts[baselineKey(f)]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var b strings.Builder
+	b.WriteString(lintBaselineSchema + "\n")
+	b.WriteString("# regenerate with: go run ./cmd/crisprlint -baseline " + filepath.ToSlash(path) + " -update-baseline [packages]\n")
+	b.WriteString("# entry: <file> <analyzer>: <message> | x<count>\n")
+	for _, k := range keys {
+		parts := strings.SplitN(k, "\x00", 3)
+		fmt.Fprintf(&b, "%s %s: %s | x%d\n", parts[0], parts[1], parts[2], counts[k])
+	}
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".crisprlint-baseline-*")
+	if err != nil {
+		return fmt.Errorf("crisprlint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.WriteString(b.String()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("crisprlint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("crisprlint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("crisprlint: %w", err)
+	}
+	return nil
+}
+
+// readLintBaseline parses a baseline into key -> remaining-suppression
+// count. The schema line must match exactly: a future format bump fails
+// loudly instead of silently suppressing nothing (or everything).
+func readLintBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("crisprlint: %w", err)
+	}
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != lintBaselineSchema {
+		return nil, fmt.Errorf("crisprlint: %s: not a crisprlint baseline (want first line %q)", path, lintBaselineSchema)
+	}
+	out := map[string]int{}
+	for i, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sep := strings.LastIndex(line, " | x")
+		if sep < 0 {
+			return nil, fmt.Errorf("crisprlint: %s:%d: malformed baseline entry (missing \" | x<count>\")", path, i+2)
+		}
+		count, err := strconv.Atoi(line[sep+len(" | x"):])
+		if err != nil || count <= 0 {
+			return nil, fmt.Errorf("crisprlint: %s:%d: malformed baseline count", path, i+2)
+		}
+		head := line[:sep]
+		sp := strings.Index(head, " ")
+		if sp < 0 {
+			return nil, fmt.Errorf("crisprlint: %s:%d: malformed baseline entry (want \"<file> <analyzer>: <message>\")", path, i+2)
+		}
+		file, rest := head[:sp], head[sp+1:]
+		colon := strings.Index(rest, ": ")
+		if colon < 0 {
+			return nil, fmt.Errorf("crisprlint: %s:%d: malformed baseline entry (want \"<file> <analyzer>: <message>\")", path, i+2)
+		}
+		key := file + "\x00" + rest[:colon] + "\x00" + rest[colon+2:]
+		out[key] += count
+	}
+	return out, nil
+}
+
+// applyLintBaseline partitions findings into kept (unbaselined, still
+// fail the run) and suppressed. Each baseline entry absorbs up to its
+// recorded count; findings are already sorted by position, so when a
+// key has more occurrences than the baseline allows, the surviving ones
+// are the later positions — deterministic across runs. It also returns
+// the number of stale entries: baseline keys whose findings have been
+// (fully or partly) fixed, which the caller reports so the burn-down
+// file actually burns down.
+func applyLintBaseline(findings []jsonFinding, allowed map[string]int) (kept []jsonFinding, suppressed, stale int) {
+	remaining := make(map[string]int, len(allowed))
+	for k, v := range allowed {
+		remaining[k] = v
+	}
+	kept = findings[:0:0]
+	for _, f := range findings {
+		k := baselineKey(f)
+		if remaining[k] > 0 {
+			remaining[k]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for _, v := range remaining {
+		if v > 0 {
+			stale++
+		}
+	}
+	return kept, suppressed, stale
+}

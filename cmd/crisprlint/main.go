@@ -1,5 +1,5 @@
 // Command crisprlint is the repository's invariant checker: a
-// multichecker of fifteen custom analyzers that enforce the contracts
+// multichecker of seventeen custom analyzers that enforce the contracts
 // the code base otherwise keeps only by convention. Eight are syntactic
 // (enginereg, dnaalphabet, statsdiscipline, errwrap, clockguard,
 // ctxflow, logdiscipline, deferloop): engine-registry parity behind the
@@ -7,15 +7,17 @@
 // boundary, populated execution stats, the error-prefix/%w convention,
 // deterministic modeled-platform timing, context propagation through
 // the scan pipeline, library logging discipline, and no accumulating
-// defers in loops. Three are type-checked (hotpath, atomicfield,
-// lockorder): allocation-freedom in //crisprlint:hotpath-annotated scan
-// kernels, no torn sync/atomic counters, and documented `guarded by
-// <mu>` mutex discipline. Four are interprocedural (goroutineleak,
-// chandiscipline, waitsync, lockcycle), built on a module-wide call
-// graph with serialized per-function facts under the vet protocol:
-// provable goroutine termination paths, channel close/send ownership,
-// sync.WaitGroup protocol, and an acyclic module-wide lock-order
-// graph.
+// defers in loops. Five are type-checked (hotpath, atomicfield,
+// lockorder, boundshint, loopinvariant): allocation- and
+// copy-freedom in //crisprlint:hotpath-annotated scan kernels, no torn
+// sync/atomic counters, documented `guarded by <mu>` mutex discipline,
+// slice accesses shaped to defeat bounds-check elimination, and
+// loop-invariant work trapped inside hot loops. Four are
+// interprocedural (goroutineleak, chandiscipline, waitsync, lockcycle),
+// built on a module-wide call graph with serialized per-function facts
+// under the vet protocol: provable goroutine termination paths, channel
+// close/send ownership, sync.WaitGroup protocol, and an acyclic
+// module-wide lock-order graph.
 //
 // Standalone usage (whole-module analysis, including the cross-package
 // checks):
@@ -24,7 +26,10 @@
 //
 // Exit status: 0 clean, 3 findings, 1 operational error (mirroring
 // x/tools multicheckers). `-json` switches the standalone output to a
-// JSON array of findings for CI annotation.
+// JSON array of findings for CI annotation. `-baseline <file>` filters
+// findings through a committed suppression baseline (burn-down list for
+// landing new analyzers module-wide); `-update-baseline` regenerates
+// that file from the current findings.
 //
 // Vet-tool usage (per-package, integrates with go vet's build cache;
 // the typed analyzers resolve imports from the go command's export
@@ -63,7 +68,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	versionFlag := fs.String("V", "", "print version and exit (vet protocol)")
 	flagsFlag := fs.Bool("flags", false, "print analyzer flags as JSON and exit (vet protocol)")
 	jsonFlag := fs.Bool("json", false, "standalone mode: emit findings as a JSON array on stdout")
+	baselineFlag := fs.String("baseline", "", "standalone mode: suppression baseline `file`; recorded findings are filtered out, new ones still fail")
+	updateBaseline := fs.Bool("update-baseline", false, "standalone mode: write the current findings to -baseline and exit 0")
 	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *updateBaseline && *baselineFlag == "" {
+		fmt.Fprintln(stderr, "crisprlint: -update-baseline requires -baseline")
 		return 1
 	}
 
@@ -95,7 +106,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		printHelp(stdout)
 		return 0
 	}
-	return runStandalone(rest, *jsonFlag, stdout, stderr)
+	return runStandalone(rest, *jsonFlag, *baselineFlag, *updateBaseline, stdout, stderr)
 }
 
 // jsonFinding is the `-json` wire shape: one object per diagnostic,
@@ -108,7 +119,7 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
-func runStandalone(patterns []string, asJSON bool, stdout, stderr io.Writer) int {
+func runStandalone(patterns []string, asJSON bool, baselinePath string, updateBaseline bool, stdout, stderr io.Writer) int {
 	fset := token.NewFileSet()
 	prog, err := analysis.Load(fset, ".", patterns...)
 	if err != nil {
@@ -120,25 +131,48 @@ func runStandalone(patterns []string, asJSON bool, stdout, stderr io.Writer) int
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	if asJSON {
-		out := make([]jsonFinding, 0, len(diags))
-		for _, d := range diags {
-			p := fset.Position(d.Pos)
-			out = append(out, jsonFinding{File: p.Filename, Line: p.Line, Column: p.Column, Analyzer: d.Analyzer, Message: d.Message})
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		findings = append(findings, jsonFinding{File: p.Filename, Line: p.Line, Column: p.Column, Analyzer: d.Analyzer, Message: d.Message})
+	}
+	if baselinePath != "" {
+		if updateBaseline {
+			if err := writeLintBaseline(baselinePath, findings); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "crisprlint: wrote %s (%d finding(s) baselined)\n", baselinePath, len(findings))
+			return 0
 		}
+		allowed, err := readLintBaseline(baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		var suppressed, stale int
+		findings, suppressed, stale = applyLintBaseline(findings, allowed)
+		if suppressed > 0 {
+			fmt.Fprintf(stderr, "crisprlint: %d finding(s) suppressed by %s\n", suppressed, baselinePath)
+		}
+		if stale > 0 {
+			fmt.Fprintf(stderr, "crisprlint: %d stale entr(y/ies) in %s — findings fixed; regenerate to burn the baseline down\n", stale, baselinePath)
+		}
+	}
+	if asJSON {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := enc.Encode(findings); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
 	} else {
-		for _, d := range diags {
-			fmt.Fprintf(stdout, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message)
 		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "crisprlint: %d finding(s)\n", len(diags))
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "crisprlint: %d finding(s)\n", len(findings))
 		return 3
 	}
 	return 0

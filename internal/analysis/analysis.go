@@ -7,20 +7,26 @@
 // deterministic timing models, and context propagation through the
 // scan pipeline — into machine-checked rules.
 //
-// The framework has three tiers. The first-tier analyzers are purely
+// The framework has four tiers. The first-tier analyzers are purely
 // syntactic (AST + token positions). The typed tier (typecheck.go)
 // adds best-effort go/types information — via the stdlib source
 // importer standalone, or the go command's export data under the vet
-// protocol — for the three hot-path analyzers: hotpath (allocation
+// protocol — for the hot-path analyzers: hotpath (allocation
 // freedom in annotated scan kernels), atomicfield (no torn counters),
-// and lockorder (documented mutex discipline). The interprocedural
+// lockorder (documented mutex discipline), boundshint (BCE-defeating
+// slice access shapes in hot loops), and loopinvariant (loop-invariant
+// computation in hot loops, gated by must-analysis). The interprocedural
 // tier (callgraph.go) builds a conservative module-wide call graph on
 // top of the typed tier and derives per-function facts — never
 // returns, transitive mutex acquisitions, lock-order edges — for the
 // concurrency analyzers: goroutineleak, chandiscipline, waitsync, and
 // lockcycle. Under the vet protocol those facts serialize to the
 // .vetx file the go command manages per package, so cross-package
-// conclusions survive per-package analysis. Either way the driver
+// conclusions survive per-package analysis. The fourth, compiler-
+// feedback tier lives outside the analyzer list: internal/perfgate and
+// cmd/perfgate close the loop by gating the compiler's own escape,
+// inlining, and bounds-check verdicts for the same hotpath spans
+// against a justified baseline. Either way the driver
 // works both as a standalone multichecker (cmd/crisprlint) and as a
 // `go vet -vettool` backend, with no network or third-party
 // dependencies.
@@ -243,7 +249,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		EngineReg, DNAAlphabet, StatsDiscipline, ErrWrap, ClockGuard, CtxFlow,
 		LogDiscipline, DeferLoop,
-		HotPath, AtomicField, LockOrder,
+		HotPath, AtomicField, LockOrder, BoundsHint, LoopInvariant,
 		GoroutineLeak, ChanDiscipline, WaitSync, LockCycle,
 	}
 }

@@ -1,0 +1,372 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// BoundsHint flags slice accesses inside //crisprlint:hotpath functions
+// whose shape defeats the compiler's bounds-check elimination (BCE), so
+// the check survives into the inner loop. It is the source-level
+// explanation for the "Found IsInBounds" verdicts cmd/perfgate gates:
+// perfgate says *that* a check survived, boundshint says *why* and what
+// idiom removes it.
+//
+// Patterns flagged, all restricted to loops in hot functions:
+//
+//   - indexing by the loop variable under a bound that is not len of
+//     the indexed slice (`for i := 0; i < n; i++ { s[i] }`) with no
+//     visible guard — BCE cannot relate n to len(s);
+//   - backwards indexing (`s[i-c]`, `s[i-k]`) whose lower bound the
+//     prove pass cannot establish;
+//   - masked indexing with a modulus other than len of the indexed
+//     slice (`s[x % m]`) — `% len(s)` and power-of-two `&`/`&^` masks
+//     are the BCE-friendly idioms;
+//   - non-constant re-slices (`seq[p : p+k]`) re-checked every
+//     iteration.
+//
+// Recognized guard idioms suppress the loop-bound check: a prior
+// `_ = s[n-1]` (or any blank-assigned index), `_ = s[:n]`, or a
+// self-re-slice `s = s[:n]` — each teaches the prove pass the bound.
+// Fixed-size arrays indexed under a constant bound are exempt (the
+// compiler already proves those); arrays under a variable bound are
+// not, which is exactly the bitap `rows[j]`/`j <= k` trap. Findings
+// are suppressed with //crisprlint:allow boundshint.
+var BoundsHint = &Analyzer{
+	Name: "boundshint",
+	Doc: "slice accesses in //crisprlint:hotpath loops shaped to defeat bounds-check " +
+		"elimination: loop bounds unrelated to len, backwards indexing, non-len modulus " +
+		"masks, and non-constant re-slices",
+	Run: runBoundsHint,
+}
+
+func runBoundsHint(pass *Pass) error {
+	ti := pass.Types()
+	reported := make(map[token.Pos]bool) // nested hot funcs share spans; report once
+	for _, f := range pass.Pkg.Files {
+		for _, hf := range HotFuncs(pass.Fset, f) {
+			checkBoundsHints(pass, ti, hf, reported)
+		}
+	}
+	return nil
+}
+
+// boundsLoop is one enclosing loop's relevant shape.
+type boundsLoop struct {
+	body [2]token.Pos // (lbrace, rbrace) of the loop body
+	// v is the classic 3-clause loop variable name, or the range key;
+	// empty when the loop has no usable index variable.
+	v string
+	// bound is the exclusive upper bound expression from `v < bound`;
+	// for range loops a synthetic len(rangeExpr). Nil when unknown.
+	bound ast.Expr
+	// inclusive marks `v <= bound` loops: even a len bound keeps (or
+	// overruns) the check there.
+	inclusive bool
+	// initVal is the constant the loop variable starts at, -1 when not
+	// a constant.
+	initVal int64
+}
+
+func checkBoundsHints(pass *Pass, ti *TypeInfo, hf HotFunc, reported map[token.Pos]bool) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos, format, args...)
+	}
+
+	guards, guardNodes := collectBoundsGuards(hf.Body)
+	lenDefs := collectLenDefs(hf.Body)
+	loops := collectBoundsLoops(hf.Body)
+
+	innermost := func(pos token.Pos) *boundsLoop {
+		var best *boundsLoop
+		for i := range loops {
+			l := &loops[i]
+			if pos > l.body[0] && pos < l.body[1] {
+				if best == nil || l.body[0] > best.body[0] {
+					best = l
+				}
+			}
+		}
+		return best
+	}
+
+	ast.Inspect(hf.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			if guardNodes[n] || isMapIndex(ti, n) {
+				return true
+			}
+			loop := innermost(n.Pos())
+			if loop == nil {
+				return true
+			}
+			checkIndex(ti, report, hf, loop, n, guards, lenDefs)
+		case *ast.SliceExpr:
+			if guardNodes[n] {
+				return true
+			}
+			loop := innermost(n.Pos())
+			if loop == nil {
+				return true
+			}
+			checkReslice(ti, report, hf, n)
+		}
+		return true
+	})
+}
+
+func checkIndex(ti *TypeInfo, report func(token.Pos, string, ...any), hf HotFunc, loop *boundsLoop, n *ast.IndexExpr, guards map[string]bool, lenDefs map[string]string) {
+	sStr := types.ExprString(n.X)
+	switch idx := n.Index.(type) {
+	case *ast.Ident:
+		if loop.v == "" || idx.Name != loop.v || loop.bound == nil {
+			return
+		}
+		if guards[sStr] {
+			return
+		}
+		if !loop.inclusive && boundImpliesLen(loop.bound, sStr, lenDefs) {
+			return
+		}
+		if isArrayOperand(ti, n.X) && isConstExpr(ti, loop.bound) {
+			// Constant bound over a fixed-size array: the prove pass
+			// (or the compile itself) settles it.
+			return
+		}
+		if loop.inclusive {
+			report(n.Pos(), "hot path %s: %s[%s] under inclusive bound `%s <= %s` keeps a bounds check every iteration; "+
+				"guard with `_ = %s[%s]` before the loop or justify with //crisprlint:allow boundshint",
+				hf.Name, sStr, idx.Name, loop.v, types.ExprString(loop.bound), sStr, types.ExprString(loop.bound))
+			return
+		}
+		report(n.Pos(), "hot path %s: %s[%s] is bounds-checked every iteration: loop bound %s is not len(%s); "+
+			"guard with `_ = %s[%s-1]`, re-slice, or iterate to len(%s), or justify with //crisprlint:allow boundshint",
+			hf.Name, sStr, idx.Name, types.ExprString(loop.bound), sStr, sStr, types.ExprString(loop.bound), sStr)
+
+	case *ast.BinaryExpr:
+		switch idx.Op {
+		case token.SUB:
+			// len(s)-c and loop-var-minus-constant with a covering start
+			// value are both provable; everything else keeps the check.
+			if isLenOf(idx.X, sStr, lenDefs) && isConstExpr(ti, idx.Y) {
+				return
+			}
+			if id, ok := idx.X.(*ast.Ident); ok && loop.v != "" && id.Name == loop.v {
+				if c, ok := constInt(ti, idx.Y); ok && loop.initVal >= 0 && loop.initVal >= c {
+					return
+				}
+			}
+			report(n.Pos(), "hot path %s: backwards index %s[%s] cannot be proven in range; "+
+				"re-slice before the loop or restructure the recurrence, or justify with //crisprlint:allow boundshint",
+				hf.Name, sStr, types.ExprString(idx))
+		case token.REM:
+			if isLenOf(idx.Y, sStr, lenDefs) {
+				return
+			}
+			report(n.Pos(), "hot path %s: masked index %s[%s] uses a modulus other than len(%s); "+
+				"use %% len(%s) or a power-of-two mask (&, &^) so the bounds check can be elided, "+
+				"or justify with //crisprlint:allow boundshint",
+				hf.Name, sStr, types.ExprString(idx), sStr, sStr)
+		}
+	}
+}
+
+func checkReslice(ti *TypeInfo, report func(token.Pos, string, ...any), hf HotFunc, n *ast.SliceExpr) {
+	if n.Low == nil || n.High == nil {
+		return
+	}
+	if isConstExpr(ti, n.Low) || isConstExpr(ti, n.High) {
+		return
+	}
+	report(n.Pos(), "hot path %s: non-constant re-slice %s carries a slice-bounds check every iteration; "+
+		"hoist the window out of the loop or index directly, or justify with //crisprlint:allow boundshint",
+		hf.Name, types.ExprString(n))
+}
+
+// collectBoundsLoops gathers every for/range loop under body (closures
+// included: they run in the hot context) with its index shape.
+func collectBoundsLoops(body *ast.BlockStmt) []boundsLoop {
+	var out []boundsLoop
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			l := boundsLoop{body: [2]token.Pos{n.Body.Lbrace, n.Body.Rbrace}, initVal: -1}
+			if cond, ok := n.Cond.(*ast.BinaryExpr); ok && (cond.Op == token.LSS || cond.Op == token.LEQ) {
+				if id, ok := cond.X.(*ast.Ident); ok {
+					l.v = id.Name
+					l.bound = cond.Y
+					l.inclusive = cond.Op == token.LEQ
+				}
+			}
+			if init, ok := n.Init.(*ast.AssignStmt); ok && len(init.Lhs) == 1 && len(init.Rhs) == 1 {
+				if id, ok := init.Lhs[0].(*ast.Ident); ok && id.Name == l.v {
+					if lit, ok := init.Rhs[0].(*ast.BasicLit); ok && lit.Kind == token.INT {
+						if v, err := strconv.ParseInt(lit.Value, 0, 64); err == nil {
+							l.initVal = v
+						}
+					}
+				}
+			}
+			out = append(out, l)
+		case *ast.RangeStmt:
+			l := boundsLoop{body: [2]token.Pos{n.Body.Lbrace, n.Body.Rbrace}, initVal: 0}
+			if id, ok := n.Key.(*ast.Ident); ok && id.Name != "_" {
+				l.v = id.Name
+				// Ranging over x bounds the key by len(x) exactly.
+				l.bound = &ast.CallExpr{Fun: ast.NewIdent("len"), Args: []ast.Expr{n.X}}
+			}
+			out = append(out, l)
+		}
+		return true
+	})
+	return out
+}
+
+// collectBoundsGuards finds the guard idioms that teach the prove pass
+// a bound before the loop: `_ = s[expr]`, `_ = s[:expr]`, and the
+// self-re-slice `s = s[:expr]`. It returns the guarded operands (by
+// source text) and the guard expressions themselves, which the main
+// walk must not flag.
+func collectBoundsGuards(body *ast.BlockStmt) (map[string]bool, map[ast.Node]bool) {
+	guards := make(map[string]bool)
+	nodes := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, lhsIsIdent := as.Lhs[0].(*ast.Ident)
+		if !lhsIsIdent {
+			return true
+		}
+		switch rhs := as.Rhs[0].(type) {
+		case *ast.IndexExpr:
+			if lhs.Name == "_" {
+				guards[types.ExprString(rhs.X)] = true
+				nodes[rhs] = true
+			}
+		case *ast.SliceExpr:
+			if lhs.Name == "_" || lhs.Name == types.ExprString(rhs.X) {
+				guards[types.ExprString(rhs.X)] = true
+				nodes[rhs] = true
+			}
+		}
+		return true
+	})
+	return guards, nodes
+}
+
+// collectLenDefs maps variables assigned exactly `len(x)` to the source
+// text of x, so `n := len(s)` makes n an acceptable bound for s.
+func collectLenDefs(body *ast.BlockStmt) map[string]string {
+	defs := make(map[string]string)
+	record := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok && len(call.Args) == 1 {
+			if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "len" {
+				defs[id.Name] = types.ExprString(call.Args[0])
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return defs
+}
+
+// boundImpliesLen reports whether the loop bound provably keeps indexes
+// below len of the operand (by source text): len(s) itself, a variable
+// defined as len(s), or len(s) minus a constant.
+func boundImpliesLen(bound ast.Expr, operand string, lenDefs map[string]string) bool {
+	if isLenOf(bound, operand, lenDefs) {
+		return true
+	}
+	if b, ok := bound.(*ast.BinaryExpr); ok && b.Op == token.SUB {
+		if _, isLit := b.Y.(*ast.BasicLit); isLit {
+			return isLenOf(b.X, operand, lenDefs)
+		}
+	}
+	return false
+}
+
+// isLenOf reports whether e is `len(operand)` or a variable recorded as
+// holding it.
+func isLenOf(e ast.Expr, operand string, lenDefs map[string]string) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if fn, ok := e.Fun.(*ast.Ident); ok && fn.Name == "len" && len(e.Args) == 1 {
+			return types.ExprString(e.Args[0]) == operand
+		}
+	case *ast.Ident:
+		return lenDefs[e.Name] == operand
+	}
+	return false
+}
+
+func isMapIndex(ti *TypeInfo, n *ast.IndexExpr) bool {
+	tv, ok := ti.Info.Types[n.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func isArrayOperand(ti *TypeInfo, e ast.Expr) bool {
+	tv, ok := ti.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type.Underlying()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem().Underlying()
+	}
+	_, isArray := t.(*types.Array)
+	return isArray
+}
+
+func isConstExpr(ti *TypeInfo, e ast.Expr) bool {
+	if tv, ok := ti.Info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	_, isLit := e.(*ast.BasicLit)
+	return isLit
+}
+
+func constInt(ti *TypeInfo, e ast.Expr) (int64, bool) {
+	if tv, ok := ti.Info.Types[e]; ok && tv.Value != nil {
+		if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok {
+			return v, true
+		}
+	}
+	if lit, ok := e.(*ast.BasicLit); ok && lit.Kind == token.INT {
+		if v, err := strconv.ParseInt(lit.Value, 0, 64); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}

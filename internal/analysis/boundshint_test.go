@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/analysis"
+	"github.com/cap-repro/crisprscan/internal/analysis/analysistest"
+)
+
+func TestBoundsHintFixture(t *testing.T) {
+	analysistest.Run(t, analysis.BoundsHint,
+		analysistest.Pkg{Dir: "boundshint", Path: analysistest.ModulePath + "/internal/bhfix"})
+}

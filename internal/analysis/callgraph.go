@@ -277,6 +277,14 @@ func resolveCall(cg *callGraph, ti *TypeInfo, call *ast.CallExpr) (keys []string
 			return nil, true
 		}
 		return nil, false
+	case *ast.IndexExpr:
+		// Explicit generic instantiation F[T](...) resolves like F(...);
+		// an indexed function value fns[i](...) recurses into the Var
+		// case and stays unknown.
+		return resolveCall(cg, ti, &ast.CallExpr{Fun: fun.X, Args: call.Args})
+	case *ast.IndexListExpr:
+		// F[T1, T2](...) with several type arguments.
+		return resolveCall(cg, ti, &ast.CallExpr{Fun: fun.X, Args: call.Args})
 	case *ast.SelectorExpr:
 		if sel, ok := ti.Info.Selections[fun]; ok {
 			fn, ok := sel.Obj().(*types.Func)

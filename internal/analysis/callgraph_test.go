@@ -1,0 +1,196 @@
+package analysis
+
+// Edge-case coverage for the call-graph builder's resolution rules:
+// embedded-interface dispatch, method values handed around as function
+// arguments (which must stay fail-open), and generic instantiation in
+// both implicit and explicit forms. These are the shapes most likely
+// to regress silently — resolution errors here surface only as missing
+// or spurious interprocedural facts, never as type errors.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildCallGraph type-checks one synthetic package and returns its call
+// graph.
+func buildCallGraph(t *testing.T, src string) *callGraph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cg.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	pkg := &Package{Path: "cgtest/p", Name: f.Name.Name, Files: []*ast.File{f}}
+	prog := &Program{ModulePath: "cgtest", Packages: map[string]*Package{"cgtest/p": pkg}}
+	if ti := prog.TypeCheck(fset, pkg); ti.Err != nil {
+		t.Fatalf("type-checking fixture: %v", ti.Err)
+	}
+	return prog.callGraphOf(fset)
+}
+
+// callKeys flattens the resolved candidate keys of every call site in
+// the named function's body.
+func callKeys(t *testing.T, cg *callGraph, key string) []string {
+	t.Helper()
+	n, ok := cg.nodes[key]
+	if !ok {
+		t.Fatalf("call graph has no node %q; have %d nodes", key, len(cg.nodes))
+	}
+	var keys []string
+	for _, c := range n.calls {
+		keys = append(keys, c.keys...)
+	}
+	return keys
+}
+
+func hasKey(keys []string, want string) bool {
+	for _, k := range keys {
+		if k == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCallGraphEmbeddedInterfaceResolution checks that a call through
+// an interface that only inherits the method from an embedded interface
+// still resolves to the concrete implementations — and only to types
+// implementing the WHOLE outer interface, not every type that happens
+// to have a method of that name.
+func TestCallGraphEmbeddedInterfaceResolution(t *testing.T) {
+	cg := buildCallGraph(t, `package p
+
+type inner interface{ Step() }
+
+type Outer interface {
+	inner
+	Name() string
+}
+
+type impl struct{}
+
+func (impl) Step()        {}
+func (impl) Name() string { return "" }
+
+// decoy has Step but not Name: it implements inner, not Outer, so the
+// dispatch below must not reach it.
+type decoy struct{}
+
+func (decoy) Step() {}
+
+func drive(o Outer) {
+	o.Step()
+}
+`)
+	keys := callKeys(t, cg, "cgtest/p.drive")
+	if !hasKey(keys, "cgtest/p.(impl).Step") {
+		t.Errorf("embedded-interface call did not resolve to impl.Step; candidates: %v", keys)
+	}
+	if hasKey(keys, "cgtest/p.(decoy).Step") {
+		t.Errorf("embedded-interface call over-resolved to decoy.Step (decoy lacks Name): %v", keys)
+	}
+	if cg.nodes["cgtest/p.drive"].callsUnknown {
+		t.Error("interface dispatch marked the caller callsUnknown; it resolved to candidates")
+	}
+}
+
+// TestCallGraphMethodValueFailOpen checks the deliberate
+// under-approximation: a method value passed as a function argument is
+// invoked through a *types.Var, so the invoking function is marked
+// callsUnknown and the method's acquisitions do NOT flow to the caller
+// — fail-open, no spurious facts.
+func TestCallGraphMethodValueFailOpen(t *testing.T) {
+	cg := buildCallGraph(t, `package p
+
+import "sync"
+
+var mu sync.Mutex
+
+type box struct{}
+
+func (box) locker() {
+	mu.Lock()
+	mu.Unlock()
+}
+
+func apply(f func()) {
+	f()
+}
+
+func caller(b box) {
+	apply(b.locker)
+}
+`)
+	ap, ok := cg.nodes["cgtest/p.apply"]
+	if !ok {
+		t.Fatal("call graph has no node for apply")
+	}
+	if !ap.callsUnknown {
+		t.Error("invoking a function-typed parameter must mark the node callsUnknown")
+	}
+	if len(ap.calls) != 0 {
+		t.Errorf("f() resolved to %v; function values must resolve to nothing", ap.calls)
+	}
+	if acq := cg.acquiresOf("cgtest/p.(box).locker"); !acq["cgtest/p.mu"] {
+		t.Errorf("locker's direct acquisition missing: %v", acq)
+	}
+	if acq := cg.acquiresOf("cgtest/p.caller"); acq["cgtest/p.mu"] {
+		t.Errorf("caller inherited mu through a method value; must stay fail-open, got %v", acq)
+	}
+	if cg.noReturnOf("cgtest/p.apply") {
+		t.Error("a function with unknown callees must be assumed to return")
+	}
+}
+
+// TestCallGraphGenericInstantiation checks that calls to a generic
+// function resolve to the same key whether instantiated implicitly or
+// explicitly (F[T](x) arrives as an IndexExpr callee), that multi-
+// type-parameter instantiation resolves too, and that an indexed
+// function VALUE (fns[0]()) is still unknown rather than misread as an
+// instantiation.
+func TestCallGraphGenericInstantiation(t *testing.T) {
+	cg := buildCallGraph(t, `package p
+
+func generic[T any](v T) {}
+
+func pair[K comparable, V any](k K, v V) {}
+
+func implicit() {
+	generic(1)
+}
+
+func explicit() {
+	generic[int](2)
+}
+
+func multi() {
+	pair[string, int]("k", 1)
+}
+
+func indexedValue(fns []func()) {
+	fns[0]()
+}
+`)
+	for caller, want := range map[string]string{
+		"cgtest/p.implicit": "cgtest/p.generic",
+		"cgtest/p.explicit": "cgtest/p.generic",
+		"cgtest/p.multi":    "cgtest/p.pair",
+	} {
+		if keys := callKeys(t, cg, caller); !hasKey(keys, want) {
+			t.Errorf("%s did not resolve to %s; candidates: %v", caller, want, keys)
+		}
+		if cg.nodes[caller].callsUnknown {
+			t.Errorf("%s marked callsUnknown; instantiation resolved", caller)
+		}
+	}
+	iv, ok := cg.nodes["cgtest/p.indexedValue"]
+	if !ok {
+		t.Fatal("call graph has no node for indexedValue")
+	}
+	if !iv.callsUnknown || len(iv.calls) != 0 {
+		t.Errorf("fns[0]() must stay an unknown call, got calls=%v unknown=%v", iv.calls, iv.callsUnknown)
+	}
+}

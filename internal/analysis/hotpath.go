@@ -17,11 +17,18 @@ import (
 // function every heap-allocating construct is flagged: make/new,
 // pointer, map and slice composite literals, append into a slice that
 // is not provably preallocated in the same function, defer, closures,
-// goroutine launches, string concatenation, and (the type-aware part)
-// interface boxing at call arguments and assignments. The message
-// distinguishes per-iteration allocations (inside a loop body) from
-// per-invocation ones — hotpath functions are the worker pool's repeated
-// unit, so both matter.
+// goroutine launches, string concatenation, string<->[]byte
+// conversions, and (the type-aware part) interface boxing at call
+// arguments and assignments. The message distinguishes per-iteration
+// allocations (inside a loop body) from per-invocation ones — hotpath
+// functions are the worker pool's repeated unit, so both matter.
+//
+// Conversions the gc compiler provably elides are exempt rather than
+// pushed through //crisprlint:allow: a map-lookup key m[string(b)], a
+// comparison or switch-tag operand, a range-over-conversion header,
+// and len/cap of a conversion never materialize the copy, so flagging
+// them would train people to ignore the analyzer. A conversion used as
+// a map-STORE key is still flagged — insertion has to retain the key.
 //
 // The check is intentionally strict: justified allocations on cold
 // sub-paths (error returns, trace-gated formatting) carry a
@@ -159,6 +166,7 @@ func checkHotFunc(pass *Pass, ti *TypeInfo, hf HotFunc) {
 			hf.Name, msg, site(pos))
 	}
 	prealloc := preallocatedSlices(hf.Body)
+	elided := collectElidedConversions(ti, hf.Body)
 	ast.Inspect(hf.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
@@ -183,7 +191,7 @@ func checkHotFunc(pass *Pass, ti *TypeInfo, hf HotFunc) {
 				report(n.Pos(), "string concatenation allocates")
 			}
 		case *ast.CallExpr:
-			checkHotCall(ti, n, prealloc, report)
+			checkHotCall(ti, n, prealloc, elided, report)
 		}
 		return true
 	})
@@ -235,7 +243,7 @@ func preallocatedSlices(body *ast.BlockStmt) map[string]bool {
 	return out
 }
 
-func checkHotCall(ti *TypeInfo, call *ast.CallExpr, prealloc map[string]bool, report func(pos token.Pos, format string, args ...any)) {
+func checkHotCall(ti *TypeInfo, call *ast.CallExpr, prealloc map[string]bool, elided map[*ast.CallExpr]bool, report func(pos token.Pos, format string, args ...any)) {
 	if id, ok := call.Fun.(*ast.Ident); ok && isBuiltinUse(ti, id) {
 		switch id.Name {
 		case "make":
@@ -259,12 +267,16 @@ func checkHotCall(ti *TypeInfo, call *ast.CallExpr, prealloc map[string]bool, re
 		}
 		return
 	}
-	// Explicit conversion to an interface type.
+	// Explicit conversion to an interface type, or a copying
+	// string<->[]byte conversion outside the compiler-elided forms.
 	if tv, ok := ti.Info.Types[call.Fun]; ok && tv.IsType() {
 		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
 			if argBoxes(ti, call.Args[0]) {
 				report(call.Pos(), "conversion to %s boxes its operand", tv.Type)
 			}
+		}
+		if desc := stringBytesConv(ti, call); desc != "" && !elided[call] {
+			report(call.Pos(), "%s copies its operand", desc)
 		}
 		return
 	}
@@ -351,6 +363,110 @@ func isStringExpr(ti *TypeInfo, e ast.Expr) bool {
 	}
 	b, ok := tv.Type.Underlying().(*types.Basic)
 	return ok && b.Info()&types.IsString != 0
+}
+
+// stringBytesConv reports whether call is a conversion between string
+// and []byte (or []rune) that copies at runtime, returning a short
+// description ("" if not). Constant operands are exempt: the compiler
+// folds those at build time.
+func stringBytesConv(ti *TypeInfo, call *ast.CallExpr) string {
+	if len(call.Args) != 1 {
+		return ""
+	}
+	ftv, ok := ti.Info.Types[call.Fun]
+	if !ok || !ftv.IsType() {
+		return ""
+	}
+	atv, ok := ti.Info.Types[call.Args[0]]
+	if !ok || atv.Type == nil || atv.Value != nil {
+		return ""
+	}
+	dst, src := ftv.Type, atv.Type
+	switch {
+	case isStringType(dst) && isByteOrRuneSlice(src):
+		return fmt.Sprintf("conversion %s to string", src)
+	case isByteOrRuneSlice(dst) && isStringType(src):
+		return fmt.Sprintf("conversion string to %s", dst)
+	}
+	return ""
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune ||
+		e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// collectElidedConversions records the string<->[]byte conversion calls
+// the gc compiler elides, so checkHotCall can skip them: map-lookup
+// keys (m[string(b)] reads, not stores), comparison operands, switch
+// tags, range-over-conversion headers, and len/cap arguments.
+func collectElidedConversions(ti *TypeInfo, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	elided := make(map[*ast.CallExpr]bool)
+	mark := func(e ast.Expr) {
+		if call, ok := unparen(e).(*ast.CallExpr); ok && stringBytesConv(ti, call) != "" {
+			elided[call] = true
+		}
+	}
+	// Map-store keys must be materialized; collect them first so the
+	// IndexExpr pass below can skip them.
+	storeKeys := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if ix, ok := unparen(lhs).(*ast.IndexExpr); ok {
+					storeKeys[ix.Index] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			if isMapIndex(ti, n) && !storeKeys[n.Index] {
+				mark(n.Index)
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				mark(n.X)
+				mark(n.Y)
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil {
+				mark(n.Tag)
+			}
+		case *ast.RangeStmt:
+			mark(n.X)
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && isBuiltinUse(ti, id) &&
+				(id.Name == "len" || id.Name == "cap") && len(n.Args) == 1 {
+				mark(n.Args[0])
+			}
+		}
+		return true
+	})
+	return elided
 }
 
 // compositeAllocates reports whether the literal builds a map or slice

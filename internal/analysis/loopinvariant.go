@@ -1,0 +1,345 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LoopInvariant flags loop-invariant computation inside the loops of
+// //crisprlint:hotpath functions: work whose operands never change
+// across iterations but which is re-evaluated every pass — repeated
+// struct field loads (the compiler often cannot keep them in a
+// register once any store or call intervenes), invariant map lookups
+// (a hash per iteration), and zero-argument method calls on invariant
+// receivers. Each finding suggests hoisting the value into a local
+// before the loop; method-call findings apply only when the callee is
+// pure, which the analyzer cannot prove — hence the hint framing.
+//
+// Two conservatisms bound the noise. First, invariance: an identifier
+// counts as variant if the loop assigns it (directly, through a field
+// or index store, via ++/--, or as a range variable), if its address
+// is taken anywhere in the function, or if a pointer-receiver method
+// is invoked on it inside the loop; expressions containing calls are
+// never invariant. Second, must-execution: a candidate is reported
+// only when the forward must-analysis over the loop body's CFG proves
+// the expression is evaluated on every complete iteration — code
+// under an if, a guarded continue, or an early break is conditional,
+// and hoisting it would pessimize the common path, so it is never
+// flagged. Findings are suppressed with //crisprlint:allow
+// loopinvariant.
+var LoopInvariant = &Analyzer{
+	Name: "loopinvariant",
+	Doc: "loop-invariant computation in //crisprlint:hotpath loops: repeated field " +
+		"loads, invariant map lookups, and zero-argument method calls on invariant " +
+		"receivers, restricted by must-analysis to unconditionally executed code",
+	Run: runLoopInvariant,
+}
+
+func runLoopInvariant(pass *Pass) error {
+	ti := pass.Types()
+	reported := make(map[token.Pos]bool) // nested hot funcs share spans; report once
+	for _, f := range pass.Pkg.Files {
+		for _, hf := range HotFuncs(pass.Fset, f) {
+			checkLoopInvariant(pass, ti, hf, reported)
+		}
+	}
+	return nil
+}
+
+func checkLoopInvariant(pass *Pass, ti *TypeInfo, hf HotFunc, reported map[token.Pos]bool) {
+	addrTaken := collectAddrTaken(hf.Body)
+	ast.Inspect(hf.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			analyzeInvariantLoop(pass, ti, hf, n, n.Body, addrTaken, reported)
+		case *ast.RangeStmt:
+			analyzeInvariantLoop(pass, ti, hf, n, n.Body, addrTaken, reported)
+		}
+		return true
+	})
+}
+
+// analyzeInvariantLoop reports the invariant candidates of one loop.
+// Nested loops need no special casing: their bodies sit behind a
+// header that may skip them (zero iterations), so the must-analysis
+// already classifies their nodes as conditional for the outer loop,
+// and the walk revisits them with their own (tighter) variant set.
+func analyzeInvariantLoop(pass *Pass, ti *TypeInfo, hf HotFunc, loop ast.Node, body *ast.BlockStmt, addrTaken map[string]bool, reported map[token.Pos]bool) {
+	variant := collectVariant(ti, loop)
+	inv := &invariance{ti: ti, variant: variant, addrTaken: addrTaken}
+
+	cfg := buildCFG(body)
+	nodeKey := make(map[ast.Node]string)
+	universe := make(map[string]bool)
+	for bi, blk := range cfg.blocks {
+		for ni, n := range blk.nodes {
+			k := fmt.Sprintf("%d.%d", bi, ni)
+			nodeKey[n] = k
+			universe[k] = true
+		}
+	}
+	_, exitIn := cfg.mustHeld(universe, func(n ast.Node, held map[string]bool) {
+		held[nodeKey[n]] = true
+	})
+
+	seen := make(map[string]bool) // one report per expression per loop
+	report := func(pos token.Pos, expr string, format string, args ...any) {
+		if seen[expr] || reported[pos] {
+			return
+		}
+		seen[expr] = true
+		reported[pos] = true
+		pass.Reportf(pos, format, args...)
+	}
+	for _, blk := range cfg.blocks {
+		for _, n := range blk.nodes {
+			if !exitIn[nodeKey[n]] {
+				continue // conditional: not on every iteration
+			}
+			scanInvariantCandidates(ti, hf, n, inv, report)
+		}
+	}
+}
+
+// scanInvariantCandidates walks one must-executed leaf node. Stores
+// are skipped (an assignment's left side is a write, not a reload) and
+// closures are opaque — their bodies run under their own annotation.
+func scanInvariantCandidates(ti *TypeInfo, hf HotFunc, n ast.Node, inv *invariance, report func(token.Pos, string, string, ...any)) {
+	var exprs []ast.Expr
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		exprs = n.Rhs
+		// Index expressions on the left still read their index operand.
+		for _, lhs := range n.Lhs {
+			if ix, ok := lhs.(*ast.IndexExpr); ok {
+				exprs = append(exprs, ix.Index)
+			}
+		}
+	case *ast.IncDecStmt:
+		return
+	case ast.Expr:
+		exprs = []ast.Expr{n}
+	case *ast.ExprStmt:
+		exprs = []ast.Expr{n.X}
+	case *ast.ReturnStmt:
+		exprs = n.Results
+	case *ast.SendStmt:
+		exprs = []ast.Expr{n.Value}
+	default:
+		return
+	}
+	for _, e := range exprs {
+		walkInvariant(ti, hf, e, inv, report)
+	}
+}
+
+func walkInvariant(ti *TypeInfo, hf HotFunc, e ast.Expr, inv *invariance, report func(token.Pos, string, string, ...any)) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && len(n.Args) == 0 && isMethodSel(ti, sel) && inv.invariant(sel.X) {
+				s := types.ExprString(n)
+				report(n.Pos(), s, "hot path %s: method call %s on an invariant receiver repeats every iteration; "+
+					"hoist its result into a local before the loop if the callee is pure, or justify with //crisprlint:allow loopinvariant",
+					hf.Name, s)
+				return false
+			}
+			return true
+		case *ast.IndexExpr:
+			if isMapIndex(ti, n) && inv.invariant(n.X) && inv.invariant(n.Index) {
+				s := types.ExprString(n)
+				report(n.Pos(), s, "hot path %s: loop-invariant map lookup %s repeats a hash every iteration; "+
+					"hoist it out of the loop or justify with //crisprlint:allow loopinvariant",
+					hf.Name, s)
+				return false
+			}
+			return true
+		case *ast.SelectorExpr:
+			if isFieldSel(ti, n) && inv.invariant(n) {
+				s := types.ExprString(n)
+				report(n.Pos(), s, "hot path %s: loop-invariant field load %s is reloaded every iteration; "+
+					"hoist it into a local before the loop or justify with //crisprlint:allow loopinvariant",
+					hf.Name, s)
+				return false
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// invariance decides whether an expression's value can change across
+// iterations of the loop under analysis.
+type invariance struct {
+	ti        *TypeInfo
+	variant   map[string]bool
+	addrTaken map[string]bool
+}
+
+func (v *invariance) invariant(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return false
+		}
+		return !v.variant[e.Name] && !v.addrTaken[e.Name]
+	case *ast.BasicLit:
+		return true
+	case *ast.ParenExpr:
+		return v.invariant(e.X)
+	case *ast.SelectorExpr:
+		if isPkgQualifier(v.ti, e.X) {
+			return true // package-qualified constant or var read
+		}
+		return v.invariant(e.X)
+	case *ast.IndexExpr:
+		return v.invariant(e.X) && v.invariant(e.Index)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND || e.Op == token.ARROW {
+			return false
+		}
+		return v.invariant(e.X)
+	case *ast.BinaryExpr:
+		return v.invariant(e.X) && v.invariant(e.Y)
+	case *ast.StarExpr:
+		// A pointer dereference can observe stores made through other
+		// names; never treat it as invariant.
+		return false
+	case *ast.CallExpr:
+		// len/cap of an invariant operand are the only calls trusted to
+		// be invariant; everything else may have effects.
+		if fn, ok := e.Fun.(*ast.Ident); ok && (fn.Name == "len" || fn.Name == "cap") && len(e.Args) == 1 {
+			return v.invariant(e.Args[0])
+		}
+		return false
+	}
+	return false
+}
+
+// collectVariant gathers the identifiers the loop may change: direct
+// assignment targets (including the roots of field/index/deref
+// stores), ++/-- targets, range variables, the loop's own init/post
+// variables, address-taken locals, and receivers of pointer-receiver
+// method calls. Closure bodies inside the loop are included — a
+// captured variable mutated by a per-iteration closure is variant.
+func collectVariant(ti *TypeInfo, loop ast.Node) map[string]bool {
+	variant := make(map[string]bool)
+	mark := func(e ast.Expr) {
+		if id := rootIdent(e); id != "" {
+			variant[id] = true
+		}
+	}
+	ast.Inspect(loop, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				mark(n.Key)
+			}
+			if n.Value != nil {
+				mark(n.Value)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && mayMutateReceiver(ti, sel) {
+				mark(sel.X)
+			}
+		}
+		return true
+	})
+	return variant
+}
+
+// collectAddrTaken records identifiers whose address escapes anywhere
+// in the hot function: stores through such names alias freely, so they
+// are never invariant.
+func collectAddrTaken(body *ast.BlockStmt) map[string]bool {
+	taken := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if id := rootIdent(u.X); id != "" {
+				taken[id] = true
+			}
+		}
+		return true
+	})
+	return taken
+}
+
+func rootIdent(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// isFieldSel reports whether sel is a struct field access (not a
+// method value, package-qualified name, or unresolved selector).
+func isFieldSel(ti *TypeInfo, sel *ast.SelectorExpr) bool {
+	s, ok := ti.Info.Selections[sel]
+	return ok && s.Kind() == types.FieldVal
+}
+
+// isMethodSel reports whether sel selects a method (value or interface
+// dispatch). Without type information the call is not flagged.
+func isMethodSel(ti *TypeInfo, sel *ast.SelectorExpr) bool {
+	s, ok := ti.Info.Selections[sel]
+	return ok && s.Kind() == types.MethodVal
+}
+
+// mayMutateReceiver is conservative: a method whose receiver is a
+// pointer (or whose signature is unknown) may write through it.
+func mayMutateReceiver(ti *TypeInfo, sel *ast.SelectorExpr) bool {
+	s, ok := ti.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return true
+	}
+	_, isPtr := sig.Recv().Type().(*types.Pointer)
+	return isPtr
+}
+
+// isPkgQualifier reports whether e names an imported package.
+func isPkgQualifier(ti *TypeInfo, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := ti.Info.Uses[id]
+	if !ok {
+		return false
+	}
+	_, isPkg := obj.(*types.PkgName)
+	return isPkg
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/analysis"
+	"github.com/cap-repro/crisprscan/internal/analysis/analysistest"
+)
+
+func TestLoopInvariantFixture(t *testing.T) {
+	analysistest.Run(t, analysis.LoopInvariant,
+		analysistest.Pkg{Dir: "loopinvariant", Path: analysistest.ModulePath + "/internal/lifix"})
+}

@@ -1,0 +1,141 @@
+// Package boundshint exercises the boundshint analyzer: slice access
+// shapes that defeat bounds-check elimination inside hotpath loops are
+// flagged; BCE-friendly idioms (len bounds, guards, re-slices, masks)
+// and unannotated functions are not.
+package boundshint
+
+type engine struct {
+	packed []uint64
+	site   int
+}
+
+// kernel demonstrates the flagged loop-bound shapes.
+//
+//crisprlint:hotpath
+func kernel(s []int, t []int, n int, k int) int {
+	acc := 0
+	for i := 0; i < n; i++ {
+		acc += s[i] // want `s\[i\] is bounds-checked every iteration: loop bound n is not len\(s\)`
+	}
+	for i := 0; i < len(s); i++ {
+		acc += s[i] // len bound: BCE elides, no finding
+	}
+	m := len(s)
+	for i := 0; i < m; i++ {
+		acc += s[i] // bound defined as len(s): no finding
+	}
+	for i := 0; i < len(s)-1; i++ {
+		acc += s[i] // len minus a constant still proves the range
+	}
+	for i := 0; i < len(s); i++ {
+		acc += t[i] // want `t\[i\] is bounds-checked every iteration: loop bound len\(s\) is not len\(t\)`
+	}
+	for i := range s {
+		acc += s[i] // ranging over s proves s[i]
+	}
+	for i := range s {
+		acc += t[i] // want `t\[i\] is bounds-checked every iteration: loop bound len\(s\) is not len\(t\)`
+	}
+	var rows [8]uint64
+	for j := 0; j <= k; j++ {
+		rows[j] = uint64(j) // want `rows\[j\] under inclusive bound .j <= k. keeps a bounds check`
+	}
+	for j := 0; j < 8; j++ {
+		rows[j] = 0 // constant bound over a fixed-size array is provable
+	}
+	return acc + int(rows[0])
+}
+
+// guarded shows the guard idioms that teach the prove pass the bound.
+//
+//crisprlint:hotpath
+func guarded(s []int, t []int, n int) int {
+	acc := 0
+	_ = s[n-1] // the guard itself is never flagged
+	for i := 0; i < n; i++ {
+		acc += s[i] // guarded above: no finding
+	}
+	t = t[:n]
+	for i := 0; i < n; i++ {
+		acc += t[i] // self-re-slice guard: no finding
+	}
+	return acc
+}
+
+// backwards demonstrates recurrence indexing.
+//
+//crisprlint:hotpath
+func backwards(s []int) int {
+	acc := 0
+	for i := 0; i < len(s); i++ {
+		acc += s[i-1] // want `backwards index s\[i - 1\] cannot be proven in range`
+	}
+	for i := 1; i < len(s); i++ {
+		acc += s[i-1] // start value covers the offset: provable, no finding
+	}
+	if len(s) > 0 {
+		acc += s[len(s)-1] // len-minus-constant outside a recurrence is provable
+	}
+	return acc
+}
+
+// masked demonstrates modulus masking.
+//
+//crisprlint:hotpath
+func masked(s []int, x int, m int) int {
+	acc := 0
+	for i := 0; i < len(s); i++ {
+		acc += s[x%m] // want `masked index s\[x % m\] uses a modulus other than len\(s\)`
+		acc += s[x%len(s)] // modulus by len(s): BCE-recognized
+		acc += s[x&7]      // power-of-two mask: BCE-friendly, not flagged
+		x++
+	}
+	return acc
+}
+
+// reslice demonstrates per-iteration window re-slicing.
+//
+//crisprlint:hotpath
+func reslice(seq []byte, k int) int {
+	acc := 0
+	for p := 0; p < len(seq)-k; p++ {
+		window := seq[p : p+k] // want `non-constant re-slice seq\[p:p \+ k\] carries a slice-bounds check`
+		acc += int(window[0])
+		acc += len(seq[0:4]) // constant bounds: no finding
+	}
+	return acc
+}
+
+// allowed shows suppression.
+//
+//crisprlint:hotpath
+func allowed(s []int, n int) int {
+	acc := 0
+	for i := 0; i < n; i++ {
+		//crisprlint:allow boundshint caller guarantees n <= len(s)
+		acc += s[i]
+	}
+	return acc
+}
+
+// cold is unannotated: identical shapes produce no findings.
+func cold(s []int, n int) int {
+	acc := 0
+	for i := 0; i < n; i++ {
+		acc += s[i]
+	}
+	return acc
+}
+
+// maps are never bounds-checked.
+//
+//crisprlint:hotpath
+func viaMap(m map[int]int, n int) int {
+	acc := 0
+	for i := 0; i < n; i++ {
+		acc += m[i-1]
+	}
+	return acc
+}
+
+var _ = engine{}

@@ -79,6 +79,38 @@ func marked(seq []byte, out *[]report) func() {
 	}
 }
 
+// conversions shows the string<->[]byte rules: copying conversions are
+// flagged; the compiler-elided forms (map-lookup key, comparison,
+// len, range header, switch tag) are exempt; a map-store key still
+// copies and is flagged.
+//
+//crisprlint:hotpath
+func conversions(b []byte, s string, m map[string]int, seq []byte) int {
+	acc := 0
+	for range seq {
+		k := string(b) // want `conversion \[\]byte to string copies its operand on every loop iteration`
+		_ = k
+		bs := []byte(s) // want `conversion string to \[\]byte copies its operand on every loop iteration`
+		_ = bs
+		rs := []rune(s) // want `conversion string to \[\]rune copies its operand on every loop iteration`
+		_ = rs
+		acc += m[string(b)] // map lookup key: elided, no copy
+		m[string(b)] = acc  // want `conversion \[\]byte to string copies its operand on every loop iteration`
+		if string(b) == s { // comparison operand: elided
+			acc++
+		}
+		acc += len(string(b)) // len of a conversion: elided
+		for range string(b) { // range header: elided
+			acc++
+		}
+		switch string(b) { // switch tag: elided
+		case s:
+			acc++
+		}
+	}
+	return acc
+}
+
 // cold is unannotated: the same constructs produce nothing.
 func cold(seq []byte) []report {
 	var out []report

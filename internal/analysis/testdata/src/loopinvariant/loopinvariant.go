@@ -1,0 +1,112 @@
+// Package loopinvariant exercises the loopinvariant analyzer:
+// loop-invariant field loads, map lookups, and zero-argument method
+// calls on invariant receivers inside hotpath loops are flagged when
+// the must-analysis proves they run on every iteration; conditional
+// code, variant receivers, address-taken locals and unannotated
+// functions stay silent.
+package loopinvariant
+
+type spec struct {
+	pam    []byte
+	offset int
+	table  map[string]int
+}
+
+func (s spec) PAMOffset() int { return s.offset }
+
+func (s *spec) Reset() { s.offset = 0 }
+
+type engine struct {
+	spec spec
+	k    int
+}
+
+func use(*spec) {}
+
+// kernel is the annotated hot function the candidates land in.
+//
+//crisprlint:hotpath
+func kernel(e *engine, seq []byte, name string) int {
+	acc := 0
+	for i := 0; i < len(seq); i++ {
+		acc += e.k // want `loop-invariant field load e\.k is reloaded every iteration`
+		acc += e.k // deduplicated: one report per expression per loop
+		acc += int(seq[i])
+	}
+	for i := range seq {
+		if seq[i] == 'A' {
+			acc += e.spec.offset // conditional: must-analysis keeps it silent
+		}
+	}
+	for i := 0; i < len(seq); i++ {
+		if seq[i] == 0 {
+			break
+		}
+		acc += e.spec.offset // an early break upstream makes this conditional too
+	}
+	for i := 0; i < len(seq); i++ {
+		acc += e.spec.table[name] // want `loop-invariant map lookup e\.spec\.table\[name\] repeats a hash every iteration`
+		acc += int(seq[i])
+	}
+	for i := 0; i < len(seq); i++ {
+		acc += e.spec.PAMOffset() // want `method call e\.spec\.PAMOffset\(\) on an invariant receiver repeats every iteration`
+		acc += int(seq[i])
+	}
+	for i := 0; i < len(seq); i++ {
+		e.spec.Reset() // pointer receiver: e is variant in this loop
+		acc += e.k     // so this reload is not flagged
+		acc += int(seq[i])
+	}
+	return acc
+}
+
+// variants shows the invariance escapes: reassignment and address
+// taking both silence the candidate.
+//
+//crisprlint:hotpath
+func variants(seq []byte) int {
+	acc := 0
+	s := spec{}
+	for range seq {
+		acc += s.offset // s is reassigned below: variant
+		s = spec{}
+	}
+	p := spec{}
+	use(&p)
+	for range seq {
+		acc += p.offset // address taken above: never invariant
+	}
+	return acc
+}
+
+// ranged shows range-loop bodies are analyzed the same way.
+//
+//crisprlint:hotpath
+func ranged(e *engine, seq []byte) int {
+	acc := 0
+	for _, b := range seq {
+		acc += e.k + int(b) // want `loop-invariant field load e\.k is reloaded every iteration`
+	}
+	return acc
+}
+
+// allowed shows suppression.
+//
+//crisprlint:hotpath
+func allowed(e *engine, seq []byte) int {
+	acc := 0
+	for _, b := range seq {
+		//crisprlint:allow loopinvariant measured: the compiler keeps it in a register here
+		acc += e.k + int(b)
+	}
+	return acc
+}
+
+// cold is unannotated: identical shapes produce no findings.
+func cold(e *engine, seq []byte) int {
+	acc := 0
+	for _, b := range seq {
+		acc += e.k + int(b)
+	}
+	return acc
+}

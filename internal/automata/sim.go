@@ -96,19 +96,31 @@ func (s *Sim) Scan(input []uint8, emit func(Report)) {
 		s.active[i] = 0
 	}
 	states := s.n.States
+	alphabet := s.n.Alphabet
+	// Hoist the bitset fields into locals once: emit is an opaque call,
+	// so the compiler would otherwise reload them from s every
+	// iteration. The re-slices pin each length to the buffer width so
+	// the prove pass can drop the per-word bounds checks (all four
+	// bitsets are allocated words long in NewSim).
+	active, next := s.active, s.next
+	words := len(next)
+	startAll := s.startAll
+	startAll = startAll[:words]
+	reportAny := s.reportAny
+	reportAny = reportAny[:words]
 	for t, sym := range input {
-		next := s.next
+		next = next[:words]
 		// Seed with start states (StartOfData only at t==0).
 		if t == 0 {
 			copy(next, s.startSOD)
 			for w := range next {
-				next[w] |= s.startAll[w]
+				next[w] |= startAll[w]
 			}
 		} else {
-			copy(next, s.startAll)
+			copy(next, startAll)
 		}
 		// Union in the successors of currently active states.
-		for w, word := range s.active {
+		for w, word := range active {
 			for word != 0 {
 				idx := w*64 + bits.TrailingZeros64(word)
 				word &= word - 1
@@ -118,22 +130,23 @@ func (s *Sim) Scan(input []uint8, emit func(Report)) {
 			}
 		}
 		// Gate by the character class of the consumed symbol.
-		if sym == DeadSymbol || int(sym) >= s.n.Alphabet {
+		if sym == DeadSymbol || int(sym) >= alphabet {
 			for w := range next {
 				next[w] = 0
 			}
 		} else {
 			hit := s.classHit[sym]
+			hit = hit[:words]
 			anyReport := false
 			for w := range next {
 				next[w] &= hit[w]
-				if next[w]&s.reportAny[w] != 0 {
+				if next[w]&reportAny[w] != 0 {
 					anyReport = true
 				}
 			}
 			if anyReport {
 				for w := range next {
-					rep := next[w] & s.reportAny[w]
+					rep := next[w] & reportAny[w]
 					for rep != 0 {
 						idx := w*64 + bits.TrailingZeros64(rep)
 						rep &= rep - 1
@@ -148,8 +161,9 @@ func (s *Sim) Scan(input []uint8, emit func(Report)) {
 				}
 			}
 		}
-		s.active, s.next = next, s.active
+		active, next = next, active
 	}
+	s.active, s.next = active, next
 }
 
 // ScanCollect runs Scan and returns all reports.

@@ -100,26 +100,37 @@ func (e *Engine) ScanChrom(c *genome.Chromosome, emit func(automata.Report)) err
 		spec := &e.specs[si]
 		pamOff := spec.PAMOffset()
 		spacerOff := spec.SpacerOffset()
+		// Hoist the per-spec pattern slices out of the position loop: the
+		// emit call makes every spec field reload otherwise. The re-slice
+		// pins len(spacer) to spacerLen (New validates the geometry) so
+		// the byte loop below runs check-free.
+		pam := spec.PAM
+		spacer := spec.Spacer
+		spacer = spacer[:spacerLen]
 		// One table per spec per chromosome. Hoisting this into the Engine
 		// was tried and measured ~10% slower (the fresh cache-hot table
 		// wins in the inner loop), so the allocation stays, amortized over
 		// the whole position loop; allocgate carries it in the baseline.
 		inSeed := seedMembership(spacerLen, e.opt.SeedLen, spec.PAMLeft)
+		inSeed = inSeed[:spacerLen]
 		for p := 0; p+site <= len(seq); p++ {
 			candidates++
-			if !pamOK(spec.PAM, seq[p+pamOff:p+pamOff+len(spec.PAM)]) {
+			//crisprlint:allow boundshint the per-position PAM window is the modeled cost of this deliberately naive baseline
+			if !pamOK(pam, seq[p+pamOff:p+pamOff+len(pam)]) {
 				continue
 			}
 			pamHits++
+			//crisprlint:allow boundshint the per-position spacer window is the modeled cost of this deliberately naive baseline
 			window := seq[p+spacerOff : p+spacerOff+spacerLen]
 			if window.HasAmbiguous() {
 				continue
 			}
+			window = window[:spacerLen]
 			verifs++
 			total, seed := 0, 0
 			ok := true
 			for i := 0; i < spacerLen; i++ {
-				if !spec.Spacer[i].Has(window[i]) {
+				if !spacer[i].Has(window[i]) {
 					total++
 					if inSeed[i] {
 						seed++

@@ -154,13 +154,19 @@ func FromNFA(n *automata.NFA, opt BuildOptions) (*DFA, error) {
 func (d *DFA) Scan(input []uint8, emit func(automata.Report)) {
 	cur := d.Start
 	alpha := int32(d.Alphabet)
+	// Locals for the step tables: emit is an opaque call, so without the
+	// hoist the compiler reloads d.Trans and d.Reports from d after
+	// every reporting state.
+	empty := d.Empty
+	trans := d.Trans
+	reports := d.Reports
 	for t, sym := range input {
 		if int32(sym) >= alpha {
-			cur = d.Empty
+			cur = empty
 			continue
 		}
-		cur = d.Trans[cur*alpha+int32(sym)]
-		for _, code := range d.Reports[cur] {
+		cur = trans[cur*alpha+int32(sym)]
+		for _, code := range reports[cur] {
 			emit(automata.Report{Code: code, End: t})
 		}
 	}

@@ -130,18 +130,24 @@ const (
 //crisprlint:hotpath
 func (e *Engine) scanPrefilter(c *genome.Chromosome, lo, hi int, out *[]automata.Report) (hits, verifs int64) {
 	seq := c.Seq
+	site := e.preSite
 	if e.rec == nil {
 		for p := lo; p < hi; p++ {
 			for gi := range e.preGroups {
-				e.preGroups[gi].confirm(c, p, e.preSite, seq, out)
+				e.preGroups[gi].confirm(c, p, site, seq, out)
 			}
 		}
 		return 0, 0
 	}
+	groups := e.preGroups
 	npats := e.preNPats
+	// Pinning len(npats) to len(groups) (they are built pairwise in
+	// buildPrefilter) lets prove elide the npats[gi] check inside the
+	// per-position loop.
+	npats = npats[:len(groups)]
 	for p := lo; p < hi; p++ {
-		for gi := range e.preGroups {
-			switch e.preGroups[gi].confirm(c, p, e.preSite, seq, out) {
+		for gi := range groups {
+			switch groups[gi].confirm(c, p, site, seq, out) {
 			case confirmAmbiguous:
 				hits++
 			case confirmVerified:
