@@ -1,5 +1,5 @@
 // Command crisprlint is the repository's invariant checker: a
-// multichecker of seventeen custom analyzers that enforce the contracts
+// multichecker of eighteen custom analyzers that enforce the contracts
 // the code base otherwise keeps only by convention. Eight are syntactic
 // (enginereg, dnaalphabet, statsdiscipline, errwrap, clockguard,
 // ctxflow, logdiscipline, deferloop): engine-registry parity behind the

@@ -88,15 +88,17 @@ type config struct {
 	logFormat  string
 	logLevel   string
 
-	serve           bool
-	serveDir        string
-	serveGenomeDir  string
-	serveWorkers    int
-	serveQueue      int
-	serveQuotaRate  float64
-	serveQuotaBurst int
-	serveRetries    int
-	serveDrain      time.Duration
+	serve             bool
+	serveDir          string
+	serveGenomeDir    string
+	serveWorkers      int
+	serveQueue        int
+	serveQuotaRate    float64
+	serveQuotaBurst   int
+	serveRetries      int
+	serveDrain        time.Duration
+	traceSample       string
+	serveTenantLabels int
 
 	log     *slog.Logger      // defaults to slog.Default()
 	onAdmin func(addr string) // test hook: observes the bound -http address
@@ -174,7 +176,7 @@ func main() {
 	flag.StringVar(&cfg.outPath, "o", "", "output TSV path (default stdout)")
 	flag.StringVar(&cfg.ckptPath, "checkpoint", "", "checkpoint journal path (with -stream: resume by skipping completed chromosomes)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the search after this duration (e.g. 30m; 0 = no limit)")
-	flag.StringVar(&cfg.tracePath, "trace", "", "write a Chrome trace-event timeline of the scan to this file (view in chrome://tracing or Perfetto)")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write a Chrome trace-event timeline of the scan to this file (view in chrome://tracing or Perfetto); with -serve, the file name for each job's per-job trace inside its spool directory")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "deprecated alias for -http")
 	flag.StringVar(&cfg.httpAddr, "http", "", "serve the admin endpoint (/metrics, /healthz, /readyz, /debug/scans, /debug/pprof) on this address (e.g. localhost:6060)")
 	flag.DurationVar(&cfg.httpLinger, "http-linger", 0, "keep the -http endpoint up this long after the scan completes")
@@ -189,6 +191,8 @@ func main() {
 	flag.IntVar(&cfg.serveQuotaBurst, "serve-quota-burst", 8, "per-tenant submission burst size")
 	flag.IntVar(&cfg.serveRetries, "serve-retries", 3, "transient-failure retries per job")
 	flag.DurationVar(&cfg.serveDrain, "serve-drain", 30*time.Second, "grace window for in-flight jobs on SIGTERM before they are checkpointed for resume")
+	flag.StringVar(&cfg.traceSample, "trace-sample", "always", "job-trace sampling for -serve: always, errors (retain only failed/retried), or ratio:<p> (deterministic per-trace-ID fraction, e.g. ratio:0.1)")
+	flag.IntVar(&cfg.serveTenantLabels, "serve-tenant-labels", 32, "distinct tenant labels on /metrics before the rest fold into \"other\"")
 	flag.BoolVar(&showVersion, "version", false, "print version information and exit")
 	flag.Parse()
 

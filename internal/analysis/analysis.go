@@ -249,7 +249,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		EngineReg, DNAAlphabet, StatsDiscipline, ErrWrap, ClockGuard, CtxFlow,
 		LogDiscipline, DeferLoop,
-		HotPath, AtomicField, LockOrder, BoundsHint, LoopInvariant,
+		HotPath, AtomicField, LockOrder, BoundsHint, LoopInvariant, SpanEnd,
 		GoroutineLeak, ChanDiscipline, WaitSync, LockCycle,
 	}
 }

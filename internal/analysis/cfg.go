@@ -471,7 +471,12 @@ func (c *funcCFG) mustHeld(universe map[string]bool, genKill func(n ast.Node, he
 // intersecting, and blocks start empty (unreachable code stays empty,
 // so dead code never produces findings). chandiscipline uses it for
 // "this channel may already be closed here".
-func (c *funcCFG) mayHold(genKill func(n ast.Node, facts map[string]bool)) (visit func(check func(n ast.Node, facts map[string]bool))) {
+//
+// exitIn is the converged may-set at the function's exit block: the
+// facts that reach the end of the body, or any return, on at least one
+// path without being killed. spanend uses it for "this span's end
+// function may leak out of the function without being called".
+func (c *funcCFG) mayHold(genKill func(n ast.Node, facts map[string]bool)) (visit func(check func(n ast.Node, facts map[string]bool)), exitIn map[string]bool) {
 	in := make(map[*cfgBlock]map[string]bool, len(c.blocks))
 	for _, blk := range c.blocks {
 		in[blk] = map[string]bool{}
@@ -521,7 +526,7 @@ func (c *funcCFG) mayHold(genKill func(n ast.Node, facts map[string]bool)) (visi
 				genKill(n, facts)
 			}
 		}
-	}
+	}, in[c.exit]
 }
 
 // exitReachable reports whether the function's exit block is reachable

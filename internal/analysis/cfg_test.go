@@ -198,7 +198,8 @@ func TestMayHoldVersusMustHeldAtJoin(t *testing.T) {
 			})
 		}
 	}
-	cfg.mayHold(genKill)(record(&mayAtAfter))
+	mayVisit, _ := cfg.mayHold(genKill)
+	mayVisit(record(&mayAtAfter))
 	mustVisit, _ := cfg.mustHeld(map[string]bool{"f": true}, genKill)
 	mustVisit(record(&mustAtAfter))
 

@@ -221,7 +221,7 @@ func checkChanBody(pass *Pass, ti *TypeInfo, body *ast.BlockStmt) {
 				}
 			})
 		}
-		visit := cfg.mayHold(genKill)
+		visit, _ := cfg.mayHold(genKill)
 		visit(func(n ast.Node, fs map[string]bool) {
 			chanLeafWalk(n, func(n ast.Node) {
 				switch n := n.(type) {

@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SpanEnd enforces the tracing seam's close discipline: every method in
+// internal/metrics that opens a span or phase returns an end function
+// (func()) that must run, or the span stays open forever — it never
+// reaches the flight recorder's tree as a closed interval, phase
+// accounting under-reports, and the Chrome export shows the span
+// covering the rest of the process. Three rules, per function body
+// (function literals are checked independently):
+//
+//   - a call whose end function is discarded — as a bare statement,
+//     assigned to the blank identifier, or evaluated by a defer/go
+//     statement directly (defer runs the START at exit and drops the
+//     end) — is reported at the call;
+//   - an end function bound to a local variable must be called, or
+//     deferred, on every control-flow path to the function's exit
+//     (forward may-analysis over the CFG: a surviving "pending" fact at
+//     exit means some path leaks the span);
+//   - an end function that escapes — returned, passed as an argument,
+//     stored in a field or another variable, or captured by a closure —
+//     transfers the obligation and is exempt (the jobTrace.queueEnd
+//     hand-off in scanserve is the motivating shape).
+//
+// Immediate invocation (`tracer.StartSpan("x")()`) and the idiomatic
+// `defer rec.StartPhase(p)()` satisfy the discipline trivially. Test
+// files are exempt: span tests deliberately leave spans open to pin the
+// open-span rendering.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc: "every end function returned by the metrics span/phase starters (StartSpan, " +
+		"StartChild, StartPhase, StartChunk, TraceSpan) is called or deferred on all " +
+		"paths, unless it escapes to a caller",
+	Run: runSpanEnd,
+}
+
+// spanStartMethods is the tracked method set. Membership is necessary
+// but not sufficient: the receiver must come from internal/metrics and
+// the signature's last result must be a plain func(), so same-named
+// methods elsewhere stay invisible.
+var spanStartMethods = map[string]bool{
+	"StartSpan":  true,
+	"StartChild": true,
+	"StartPhase": true,
+	"StartChunk": true,
+	"TraceSpan":  true,
+}
+
+func runSpanEnd(pass *Pass) error {
+	ti := pass.Types()
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSpanBody(pass, ti, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkSpanBody(pass, ti, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// spanStartCall reports whether call is a tracked span/phase starter,
+// returning a printable label and the index of the end function among
+// the call's results.
+func spanStartCall(ti *TypeInfo, call *ast.CallExpr) (label string, endIndex int, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || !spanStartMethods[sel.Sel.Name] {
+		return "", 0, false
+	}
+	var obj types.Object
+	if s, found := ti.Info.Selections[sel]; found {
+		obj = s.Obj()
+	} else if u, found := ti.Info.Uses[sel.Sel]; found {
+		obj = u
+	}
+	fn, isFunc := obj.(*types.Func)
+	if !isFunc || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/metrics") {
+		return "", 0, false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Results().Len() == 0 {
+		return "", 0, false
+	}
+	last := sig.Results().Len() - 1
+	fsig, isEndSig := sig.Results().At(last).Type().Underlying().(*types.Signature)
+	if !isEndSig || fsig.Params().Len() != 0 || fsig.Results().Len() != 0 {
+		return "", 0, false
+	}
+	return types.ExprString(sel), last, true
+}
+
+// spanCandidate is one end function bound to a local variable.
+type spanCandidate struct {
+	obj    types.Object
+	def    *ast.Ident      // the binding occurrence on the assignment's LHS
+	assign *ast.AssignStmt // the defining assignment (the gen site)
+	call   *ast.CallExpr
+	label  string
+	key    string
+}
+
+func checkSpanBody(pass *Pass, ti *TypeInfo, body *ast.BlockStmt) {
+	// Nested literal spans: candidate uses inside them are captures
+	// (escape), and their own statements are checked separately.
+	var litRanges [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			litRanges = append(litRanges, [2]token.Pos{lit.Pos(), lit.End()})
+			return false
+		}
+		return true
+	})
+
+	// Pass 1: statement shapes — immediate discards and candidate
+	// bindings.
+	var cands []*spanCandidate
+	spanStmtWalk(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if label, _, ok := spanStartCall(ti, call); ok {
+					pass.Reportf(call.Pos(), "result of %s is discarded: the returned end function must be called (or deferred) to close the span", label)
+				}
+			}
+		case *ast.DeferStmt:
+			if label, _, ok := spanStartCall(ti, n.Call); ok {
+				pass.Reportf(n.Call.Pos(), "defer evaluates %s at function exit and discards its end function: write `defer %s(...)()` to open the span now and close it at exit", label, label)
+			}
+		case *ast.GoStmt:
+			if label, _, ok := spanStartCall(ti, n.Call); ok {
+				pass.Reportf(n.Call.Pos(), "result of %s is discarded: the returned end function must be called (or deferred) to close the span", label)
+			}
+		case *ast.AssignStmt:
+			collectSpanBindings(pass, ti, n, &cands)
+		}
+	})
+	if len(cands) == 0 {
+		return
+	}
+
+	// Pass 2: escape — any use of the variable other than calling it
+	// transfers the close obligation out of this function.
+	confined := cands[:0]
+	for _, c := range cands {
+		if !spanEndEscapes(ti, body, c, litRanges) {
+			confined = append(confined, c)
+		}
+	}
+	if len(confined) == 0 {
+		return
+	}
+
+	// Pass 3: may-analysis — a "pending" fact that reaches the exit
+	// block means some path neither calls nor defers the end function.
+	cfg := buildCFG(body)
+	genKill := func(n ast.Node, facts map[string]bool) {
+		spanLeafWalk(n, func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, c := range confined {
+					if c.assign == n {
+						facts[c.key] = true
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+					if obj := ti.Info.Uses[id]; obj != nil {
+						delete(facts, objKey(pass.Fset, obj))
+					}
+				}
+			}
+		})
+	}
+	_, exitIn := cfg.mayHold(genKill)
+	for _, c := range confined {
+		if exitIn[c.key] {
+			pass.Reportf(c.def.Pos(), "%s's end function %s is not called (or deferred) on every path to the function's exit: the span may never close", c.label, c.def.Name)
+		}
+	}
+}
+
+// collectSpanBindings extracts end-function bindings (and blank-ident
+// discards) from one assignment.
+func collectSpanBindings(pass *Pass, ti *TypeInfo, n *ast.AssignStmt, cands *[]*spanCandidate) {
+	bind := func(call *ast.CallExpr, label string, lhs ast.Expr) {
+		id, isIdent := lhs.(*ast.Ident)
+		if !isIdent {
+			return // field or index store: the end function escapes
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "result of %s is discarded: the returned end function must be called (or deferred) to close the span", label)
+			return
+		}
+		obj := ti.Info.Defs[id]
+		if obj == nil {
+			obj = ti.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		*cands = append(*cands, &spanCandidate{
+			obj: obj, def: id, assign: n, call: call, label: label,
+			key: objKey(pass.Fset, obj),
+		})
+	}
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		// Multi-value form: sp, end := tracer.StartChild("x").
+		call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		label, endIndex, ok := spanStartCall(ti, call)
+		if !ok || endIndex >= len(n.Lhs) {
+			return
+		}
+		bind(call, label, n.Lhs[endIndex])
+		return
+	}
+	for i, rhs := range n.Rhs {
+		if i >= len(n.Lhs) {
+			break
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if label, _, ok := spanStartCall(ti, call); ok {
+			bind(call, label, n.Lhs[i])
+		}
+	}
+}
+
+// spanEndEscapes reports whether the candidate's variable has any use
+// beyond its binding and direct calls: captures by nested literals,
+// arguments, returns, stores, and reassignments all count.
+func spanEndEscapes(ti *TypeInfo, body *ast.BlockStmt, c *spanCandidate, litRanges [][2]token.Pos) bool {
+	// Idents appearing as the operand of a direct call are benign.
+	benign := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				benign[id] = true
+			}
+		}
+		return true
+	})
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id == c.def {
+			return true
+		}
+		obj := ti.Info.Uses[id]
+		if obj == nil {
+			obj = ti.Info.Defs[id]
+		}
+		if obj != c.obj {
+			return true
+		}
+		if inAnyRange(litRanges, id.Pos()) || !benign[id] {
+			escapes = true
+		}
+		return true
+	})
+	return escapes
+}
+
+// spanStmtWalk visits body's nodes, skipping nested function literals
+// (their spans are their own responsibility).
+func spanStmtWalk(body *ast.BlockStmt, visit func(n ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// spanLeafWalk visits a CFG leaf's nodes, skipping nested function
+// literals.
+func spanLeafWalk(n ast.Node, visit func(n ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

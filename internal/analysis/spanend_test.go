@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/cap-repro/crisprscan/internal/analysis"
+	"github.com/cap-repro/crisprscan/internal/analysis/analysistest"
+)
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, analysis.SpanEnd,
+		analysistest.Pkg{Dir: "spanend", Path: analysistest.ModulePath + "/internal/spanendfix"})
+}

@@ -1,0 +1,169 @@
+// Package spanendfix exercises the spanend analyzer: end functions
+// returned by the metrics span/phase starters must be called or
+// deferred on every path, unless they escape to a caller.
+package spanendfix
+
+import (
+	"github.com/cap-repro/crisprscan/internal/metrics"
+)
+
+func cond() bool { return false }
+
+func runLater(f func()) { f() }
+
+// straightLine is the simplest compliant shape.
+func straightLine(tr *metrics.SpanTracer) {
+	end := tr.StartSpan("phase")
+	end()
+}
+
+// deferredEnd closes at exit on every path.
+func deferredEnd(tr *metrics.SpanTracer) {
+	_, end := tr.StartChild("phase")
+	defer end()
+	if cond() {
+		return
+	}
+}
+
+// immediate invocation is a zero-width span; fine.
+func immediate(tr *metrics.SpanTracer) {
+	tr.StartSpan("phase")()
+}
+
+// deferStartAndEnd is the idiomatic one-liner: start now, end at exit.
+func deferStartAndEnd(rec *metrics.Recorder) {
+	defer rec.TraceSpan("phase")()
+}
+
+// discarded drops the end function on the floor.
+func discarded(tr *metrics.SpanTracer) {
+	tr.StartSpan("phase") // want `result of tr\.StartSpan is discarded`
+}
+
+// discardedBlank is the same leak spelled with the blank identifier.
+func discardedBlank(tr *metrics.SpanTracer) {
+	_ = tr.StartSpan("phase") // want `result of tr\.StartSpan is discarded`
+}
+
+// discardedChildEnd keeps the span but drops its end.
+func discardedChildEnd(tr *metrics.SpanTracer) {
+	sp, _ := tr.StartChild("phase") // want `result of tr\.StartChild is discarded`
+	sp.SetAttr("k", "v")
+}
+
+// deferredStart runs the START at exit and never the end.
+func deferredStart(tr *metrics.SpanTracer) {
+	defer tr.StartSpan("phase") // want `defer evaluates tr\.StartSpan at function exit`
+}
+
+// earlyReturnLeaks skips the end on the error path.
+func earlyReturnLeaks(tr *metrics.SpanTracer) {
+	end := tr.StartSpan("phase") // want `end function end is not called \(or deferred\) on every path`
+	if cond() {
+		return
+	}
+	end()
+}
+
+// switchLeaks misses the implicit no-match path (no default clause).
+func switchLeaks(tr *metrics.SpanTracer, n int) {
+	end := tr.StartSpan("phase") // want `end function end is not called \(or deferred\) on every path`
+	switch n {
+	case 0:
+		end()
+	}
+}
+
+// bothBranches ends on every explicit path; no finding.
+func bothBranches(tr *metrics.SpanTracer) {
+	end := tr.StartSpan("phase")
+	if cond() {
+		end()
+		return
+	}
+	end()
+}
+
+// loopBody opens and closes per iteration; no finding.
+func loopBody(tr *metrics.SpanTracer, names []string) {
+	for _, name := range names {
+		end := tr.StartSpan(name)
+		end()
+	}
+}
+
+// loopLeaks opens per iteration but only conditionally closes.
+func loopLeaks(tr *metrics.SpanTracer, names []string) {
+	for _, name := range names {
+		end := tr.StartSpan(name) // want `end function end is not called \(or deferred\) on every path`
+		if cond() {
+			end()
+		}
+	}
+}
+
+// escapeReturned transfers the obligation to the caller; exempt.
+func escapeReturned(tr *metrics.SpanTracer) func() {
+	end := tr.StartSpan("phase")
+	return end
+}
+
+// escapeArgument hands the end function to another callee; exempt.
+func escapeArgument(tr *metrics.SpanTracer) {
+	end := tr.StartSpan("phase")
+	runLater(end)
+}
+
+// escapeCapture lets a closure own the close; exempt.
+func escapeCapture(tr *metrics.SpanTracer) func() {
+	end := tr.StartSpan("phase")
+	return func() { end() }
+}
+
+// holder models the jobTrace.queueEnd hand-off: a field store escapes.
+type holder struct {
+	end func()
+}
+
+func escapeField(tr *metrics.SpanTracer, h *holder) {
+	end := tr.StartSpan("phase")
+	h.end = end
+}
+
+// recorderPhases covers the Recorder starters.
+func recorderPhases(rec *metrics.Recorder) {
+	endLoad := rec.StartPhase(metrics.PhaseLoad)
+	endLoad()
+	rec.StartChunk("chr1", 1024) // want `result of rec\.StartChunk is discarded`
+	endChunk := rec.StartChunk("chr2", 2048)
+	endChunk()
+}
+
+// spanChild tracks Span.StartChild the same as the tracer's.
+func spanChild(sp *metrics.Span) {
+	_, end := sp.StartChild("phase") // want `end function end is not called \(or deferred\) on every path`
+	if cond() {
+		end()
+	}
+}
+
+// unrelated same-name methods on foreign types stay invisible.
+type otherStarter struct{}
+
+func (otherStarter) StartSpan(name string) func() { return func() {} }
+
+func foreign(o otherStarter) {
+	o.StartSpan("phase")
+}
+
+// literals are checked independently: the outer function is clean, the
+// closure leaks.
+func insideLiteral(tr *metrics.SpanTracer) func() {
+	return func() {
+		end := tr.StartSpan("phase") // want `end function end is not called \(or deferred\) on every path`
+		if cond() {
+			end()
+		}
+	}
+}

@@ -314,7 +314,9 @@ func Search(g *genome.Genome, guides []dna.Pattern, p Params) (*Result, error) {
 // error wrapping context.Canceled / context.DeadlineExceeded.
 func SearchContext(ctx context.Context, g *genome.Genome, guides []dna.Pattern, p Params) (*Result, error) {
 	swCompile := metrics.NewStopwatch()
+	endCompile := p.Metrics.TraceSpan("compile")
 	engine, resolver, err := prepare(guides, &p)
+	endCompile()
 	if err != nil {
 		return nil, err
 	}

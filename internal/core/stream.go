@@ -66,7 +66,9 @@ func newStreamScan(guides []dna.Pattern, p *Params, ctrl *StreamControl, yield f
 		ctrl = &StreamControl{}
 	}
 	swCompile := metrics.NewStopwatch()
+	endCompile := p.Metrics.TraceSpan("compile")
 	engine, resolver, err := prepare(guides, p)
+	endCompile()
 	if err != nil {
 		return nil, err
 	}

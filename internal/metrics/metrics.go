@@ -143,6 +143,11 @@ type Recorder struct {
 	// emitted only while non-nil.
 	tracer Tracer
 
+	// traceID is set once before scanning via SetTraceID; while
+	// non-empty, chunk latencies carry it as a histogram exemplar so a
+	// slow bucket links to the concrete trace that produced it.
+	traceID string
+
 	// progress is set once before scanning via SetProgress; chunk
 	// completions advance it only while non-nil.
 	progress *Progress
@@ -163,6 +168,32 @@ func (r *Recorder) SetTracer(t Tracer) {
 		return
 	}
 	r.tracer = t
+}
+
+// Tracer returns the attached span sink (nil when detached).
+func (r *Recorder) Tracer() Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// SetTraceID attaches the request's trace identity (32 hex chars) for
+// exemplar annotation on the chunk-latency histogram. Call before
+// scanning starts; an empty id detaches exemplars.
+func (r *Recorder) SetTraceID(id string) {
+	if r == nil {
+		return
+	}
+	r.traceID = id
+}
+
+// TraceID returns the attached trace identity ("" when detached).
+func (r *Recorder) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	return r.traceID
 }
 
 // SetProgress installs p as the live progress sink: every chunk the
@@ -278,7 +309,11 @@ func (r *Recorder) StartChunk(label string, bytes int64) func() {
 	endTrace := r.traceStart(label)
 	start := Now()
 	return func() {
-		r.chunkLat.Observe(Now() - start)
+		if lat := Now() - start; r.traceID != "" {
+			r.chunkLat.ObserveTraced(lat, r.traceID)
+		} else {
+			r.chunkLat.Observe(lat)
+		}
 		r.progress.AddBytes(bytes)
 		endTrace()
 	}

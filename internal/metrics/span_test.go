@@ -1,0 +1,381 @@
+package metrics
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid, sid := NewTraceID(), NewSpanID()
+	for _, sampled := range []bool{true, false} {
+		h := FormatTraceparent(tid, sid, sampled)
+		gotT, gotS, gotF, err := ParseTraceparent(h)
+		if err != nil {
+			t.Fatalf("ParseTraceparent(%q): %v", h, err)
+		}
+		if gotT != tid || gotS != sid || gotF != sampled {
+			t.Fatalf("round trip of %q: got (%s, %s, %v), want (%s, %s, %v)",
+				h, gotT, gotS, gotF, tid, sid, sampled)
+		}
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"whitespace", "   "},
+		{"garbage", "not-a-traceparent"},
+		{"three fields", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7"},
+		{"version ff", strings.Replace(valid, "00-", "ff-", 1)},
+		{"version not hex", strings.Replace(valid, "00-", "zz-", 1)},
+		{"version one char", strings.Replace(valid, "00-", "0-", 1)},
+		{"version 00 extra field", valid + "-deadbeef"},
+		{"short trace id", "00-4bf92f3577b34da6-00f067aa0ba902b7-01"},
+		{"short parent id", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa-01"},
+		{"long flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0101"},
+		{"non-hex trace id", "00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01"},
+		{"non-hex parent id", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902zz-01"},
+		{"all-zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01"},
+		{"all-zero parent id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01"},
+	}
+	for _, tc := range cases {
+		if _, _, _, err := ParseTraceparent(tc.in); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted malformed input", tc.name, tc.in)
+		}
+	}
+	// A future version may carry extra fields; the known prefix parses.
+	future := strings.Replace(valid, "00-", "cc-", 1) + "-extra-fields"
+	if _, _, sampled, err := ParseTraceparent(future); err != nil || !sampled {
+		t.Errorf("future-version traceparent %q: err=%v sampled=%v, want accepted and sampled", future, err, sampled)
+	}
+	// Surrounding whitespace is trimmed, as proxies sometimes pad.
+	if _, _, _, err := ParseTraceparent("  " + valid + "  "); err != nil {
+		t.Errorf("padded traceparent rejected: %v", err)
+	}
+}
+
+func TestSpanTreeHierarchy(t *testing.T) {
+	tid := NewTraceID()
+	inbound := NewSpanID()
+	tr := NewSpanTracer(tid, "job", inbound)
+	tr.Root().SetAttr("tenant", "acme")
+	tr.Root().SetAttr("tenant", "acme2") // repeated key: last write wins
+	tr.Root().Eventf("submitted %d", 1)
+
+	_, endQ := tr.Root().StartChild("queue-wait")
+	endQ()
+	attempt, endA := tr.Root().StartChild("attempt 1")
+	tr.SetAmbient(attempt)
+	// Seam spans (Tracer interface path) land under the ambient span.
+	endChunk := tr.StartSpan("chunk 0")
+	endChunk()
+	_, endC := tr.StartChild("chunk 1")
+	endC()
+	endA()
+	tr.SetAmbient(nil)
+	tr.Root().End()
+
+	tree := tr.Tree()
+	if tree.TraceID != tid.String() {
+		t.Fatalf("tree trace id %q, want %q", tree.TraceID, tid.String())
+	}
+	root := tree.Root
+	if root.Name != "job" || root.ParentID != inbound.String() {
+		t.Fatalf("root = %q parent %q, want job under inbound %q", root.Name, root.ParentID, inbound.String())
+	}
+	if root.Open {
+		t.Fatal("ended root still marked open")
+	}
+	if root.Attrs["tenant"] != "acme2" {
+		t.Fatalf("root attrs %v: repeated key did not take the last write", root.Attrs)
+	}
+	if len(root.Events) != 1 || root.Events[0].Msg != "submitted 1" {
+		t.Fatalf("root events %v, want one 'submitted 1'", root.Events)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("root has %d children %v, want queue-wait and attempt 1", len(root.Children), childNames(root))
+	}
+	if root.Children[0].Name != "queue-wait" || root.Children[1].Name != "attempt 1" {
+		t.Fatalf("root children %v not in start order", childNames(root))
+	}
+	att := root.Children[1]
+	if len(att.Children) != 2 || att.Children[0].Name != "chunk 0" || att.Children[1].Name != "chunk 1" {
+		t.Fatalf("attempt children %v, want ambient-parented chunks", childNames(att))
+	}
+	if att.Children[0].SpanID == "" || att.Children[0].ParentID != att.SpanID {
+		t.Fatal("chunk span ids do not link to the attempt")
+	}
+}
+
+func childNames(n *SpanNode) []string {
+	out := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func TestSpanBudgetBoundsMemory(t *testing.T) {
+	tr := NewSpanTracer(NewTraceID(), "job", SpanID{})
+	tr.SetMaxSpans(4)
+	for i := 0; i < 10; i++ {
+		sp, end := tr.Root().StartChild("c")
+		end()
+		if i >= 3 && sp != nil {
+			t.Fatalf("span %d admitted over the budget", i)
+		}
+	}
+	if d := tr.Dropped(); d != 7 {
+		t.Fatalf("dropped = %d, want 7 (10 children, budget 4 incl. root)", d)
+	}
+	tree := tr.Tree()
+	if tree.DroppedSpans != 7 || len(tree.Root.Children) != 3 {
+		t.Fatalf("tree dropped=%d children=%d, want 7 and 3", tree.DroppedSpans, len(tree.Root.Children))
+	}
+}
+
+func TestOpenSpansRenderAsOpen(t *testing.T) {
+	tr := NewSpanTracer(NewTraceID(), "job", SpanID{})
+	_, _ = tr.Root().StartChild("in-flight") // deliberately never ended
+	tree := tr.Tree()
+	if !tree.Root.Open {
+		t.Fatal("un-ended root not marked open")
+	}
+	if len(tree.Root.Children) != 1 || !tree.Root.Children[0].Open {
+		t.Fatal("in-flight child not marked open")
+	}
+	if tree.Root.Children[0].DurNs < 0 {
+		t.Fatal("open span has negative duration")
+	}
+}
+
+func TestTraceSamplerModes(t *testing.T) {
+	id := NewTraceID()
+	always := TraceSampler{}
+	if !always.Record("a", id) || !always.Retain(false) || !always.Retain(true) {
+		t.Fatal("default (always) sampler must record and retain everything")
+	}
+	errs := TraceSampler{Mode: SampleErrors}
+	if !errs.Record("a", id) {
+		t.Fatal("errors mode must record every job (retention filters later)")
+	}
+	if errs.Retain(false) || !errs.Retain(true) {
+		t.Fatal("errors mode must retain failed jobs only")
+	}
+	zero := TraceSampler{Mode: SampleRatio, Ratio: 0}
+	one := TraceSampler{Mode: SampleRatio, Ratio: 1}
+	for i := 0; i < 32; i++ {
+		rid := NewTraceID()
+		if zero.Record("a", rid) {
+			t.Fatal("ratio 0 recorded a trace")
+		}
+		if !one.Record("a", rid) {
+			t.Fatal("ratio 1 skipped a trace")
+		}
+	}
+	// The ratio decision is a pure function of the trace ID, so every
+	// service hop samples the same subset.
+	half := TraceSampler{Mode: SampleRatio, Ratio: 0.5}
+	picked := 0
+	for i := 0; i < 256; i++ {
+		rid := NewTraceID()
+		first := half.Record("a", rid)
+		if half.Record("b", rid) != first {
+			t.Fatal("ratio decision depends on something other than the trace ID")
+		}
+		if first {
+			picked++
+		}
+	}
+	if picked == 0 || picked == 256 {
+		t.Fatalf("ratio 0.5 picked %d/256 traces; decision looks degenerate", picked)
+	}
+	tenant := TraceSampler{Mode: SampleRatio, Ratio: 0, TenantRatio: map[string]float64{"vip": 1}}
+	if tenant.Record("other", id) || !tenant.Record("vip", id) {
+		t.Fatal("per-tenant ratio override not applied")
+	}
+}
+
+func TestWriteChromeIsValidTraceEventJSON(t *testing.T) {
+	tr := NewSpanTracer(NewTraceID(), "job", SpanID{})
+	_, end := tr.Root().StartChild("attempt 1")
+	end()
+	tr.Root().SetAttr("state", "done")
+	tr.Root().End()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		TID  int               `json:"tid"`
+		TS   float64           `json:"ts"`
+		Dur  float64           `json:"dur"`
+		Args map[string]string `json:"args"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome export is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("chrome export has %d events, want 2", len(events))
+	}
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want complete-event X", ev.Name, ev.Ph)
+		}
+		if ev.Args["trace_id"] != tr.TraceID().String() || ev.Args["span_id"] == "" {
+			t.Fatalf("event %q lacks trace/span identity args: %v", ev.Name, ev.Args)
+		}
+		if ev.TID < 1 {
+			t.Fatalf("event %q has lane %d, want >= 1", ev.Name, ev.TID)
+		}
+	}
+	if events[0].Args["state"] != "done" {
+		t.Fatalf("root attrs not exported as args: %v", events[0].Args)
+	}
+
+	// The nil tracer still writes a syntactically valid (empty) export.
+	buf.Reset()
+	var nilTr *SpanTracer
+	if err := nilTr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var empty []any
+	if err := json.Unmarshal(buf.Bytes(), &empty); err != nil || len(empty) != 0 {
+		t.Fatalf("nil-tracer export %q: err=%v", buf.String(), err)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var tr *SpanTracer
+	var sp *Span
+	tr.SetMaxSpans(8)
+	tr.SetAmbient(nil)
+	if got := tr.TraceID(); !got.IsZero() {
+		t.Fatal("nil tracer returned a trace id")
+	}
+	if tr.Root() != nil || tr.Dropped() != 0 || tr.Tree() != nil {
+		t.Fatal("nil tracer accessors not zero")
+	}
+	tr.StartSpan("x")()
+	_, end := tr.StartChild("x")
+	end()
+	_, end = sp.StartChild("x")
+	end()
+	sp.End()
+	sp.SetAttr("k", "v")
+	sp.Eventf("e")
+	if sp.ID() != (SpanID{}) {
+		t.Fatal("nil span returned an id")
+	}
+}
+
+func TestContextCarriesSpan(t *testing.T) {
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatal("empty context produced a span")
+	}
+	tr := NewSpanTracer(NewTraceID(), "job", SpanID{})
+	ctx := ContextWithSpan(context.Background(), tr.Root())
+	if SpanFromContext(ctx) != tr.Root() {
+		t.Fatal("context did not round-trip the span")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewSpanTracer(NewTraceID(), "job", SpanID{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp, end := tr.StartChild("chunk")
+				sp.SetAttr("k", "v")
+				sp.Eventf("tick")
+				end()
+			}
+		}()
+	}
+	// Concurrent readers must see consistent snapshots.
+	for i := 0; i < 10; i++ {
+		_ = tr.Tree()
+		_ = tr.WriteChrome(&bytes.Buffer{})
+	}
+	wg.Wait()
+	tree := tr.Tree()
+	if got := len(tree.Root.Children); got != 400 {
+		t.Fatalf("tree has %d chunk spans, want 400", got)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	var h Histogram
+	h.Observe(1000) // untraced: no exemplar
+	h.ObserveTraced(1000, "aaaa")
+	h.ObserveTraced(1010, "bbbb") // same log2 bucket as aaaa: most recent wins
+	h.ObserveTraced(1<<20, "cccc")
+	snap := h.Snapshot()
+	byTrace := map[string]int64{}
+	for _, b := range snap.Buckets {
+		if b.Exemplar != nil {
+			byTrace[b.Exemplar.TraceID] = b.Exemplar.ValueNs
+		}
+	}
+	if len(byTrace) != 2 {
+		t.Fatalf("exemplars %v, want exactly the bbbb and cccc buckets", byTrace)
+	}
+	if byTrace["bbbb"] != 1010 || byTrace["cccc"] != 1<<20 {
+		t.Fatalf("exemplars %v: wrong survivors", byTrace)
+	}
+
+	// Merge keeps the larger-valued exemplar per bucket.
+	var h2 Histogram
+	h2.ObserveTraced(600, "dddd") // same bucket as bbbb, smaller value
+	merged := snap.Merge(h2.Snapshot())
+	found := false
+	for _, b := range merged.Buckets {
+		if b.Exemplar != nil && b.Exemplar.TraceID == "bbbb" {
+			found = true
+		}
+		if b.Exemplar != nil && b.Exemplar.TraceID == "dddd" {
+			t.Fatal("merge preferred the smaller exemplar")
+		}
+	}
+	if !found {
+		t.Fatal("merge lost the surviving exemplar")
+	}
+}
+
+func TestRecorderChunkExemplars(t *testing.T) {
+	var rec Recorder
+	rec.SetTraceID("feedface")
+	end := rec.StartChunk("chr1", 1024)
+	end()
+	snap := rec.Snapshot()
+	var got *Exemplar
+	for _, b := range snap.ChunkLatency.Buckets {
+		if b.Exemplar != nil {
+			got = b.Exemplar
+		}
+	}
+	if got == nil || got.TraceID != "feedface" {
+		t.Fatalf("chunk-latency exemplar %+v, want trace feedface attached", got)
+	}
+
+	// Without a trace ID the untraced path must leave no exemplars.
+	var plain Recorder
+	plain.StartChunk("chr1", 1024)()
+	for _, b := range plain.Snapshot().ChunkLatency.Buckets {
+		if b.Exemplar != nil {
+			t.Fatal("untraced recorder produced an exemplar")
+		}
+	}
+}

@@ -75,11 +75,13 @@ func (c *genomeCache) key(path string) (string, error) {
 // getIndex returns the genome plus its shared seed index, building the
 // index at most once per resident entry. The build cost is what the
 // index amortizes: the first seed-index job against a reference pays
-// it, every later job (and every concurrent one) reuses the table.
-func (c *genomeCache) getIndex(ctx context.Context, path string) (*crisprscan.Genome, *crisprscan.SeedIndex, error) {
-	g, err := c.get(ctx, path)
+// it, every later job (and every concurrent one) reuses the table. The
+// bool reports whether the genome came out of the cache (the hit/miss
+// annotation on the job's cache-load span).
+func (c *genomeCache) getIndex(ctx context.Context, path string) (*crisprscan.Genome, *crisprscan.SeedIndex, bool, error) {
+	g, hit, err := c.get(ctx, path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, hit, err
 	}
 	c.mu.Lock()
 	key, kerr := c.key(path)
@@ -90,9 +92,9 @@ func (c *genomeCache) getIndex(ctx context.Context, path string) (*crisprscan.Ge
 		// private index rather than fail the job.
 		ix, berr := crisprscan.BuildSeedIndex(g, 0)
 		if berr != nil {
-			return nil, nil, fmt.Errorf("scanserve: building seed index for %s: %w", path, berr)
+			return nil, nil, hit, fmt.Errorf("scanserve: building seed index for %s: %w", path, berr)
 		}
-		return g, ix, nil
+		return g, ix, hit, nil
 	}
 	e.idxOnce.Do(func() {
 		ix, berr := crisprscan.BuildSeedIndex(g, 0)
@@ -103,18 +105,19 @@ func (c *genomeCache) getIndex(ctx context.Context, path string) (*crisprscan.Ge
 		e.idx = ix
 	})
 	if e.idxErr != nil {
-		return nil, nil, e.idxErr
+		return nil, nil, hit, e.idxErr
 	}
-	return g, e.idx, nil
+	return g, e.idx, hit, nil
 }
 
 // get returns the genome for path, loading it at most once per key no
 // matter how many tenants ask concurrently. Waiters honor ctx; a failed
-// load is not cached (the next request retries).
-func (c *genomeCache) get(ctx context.Context, path string) (*crisprscan.Genome, error) {
+// load is not cached (the next request retries). The bool reports a
+// cache hit (including joining an in-flight load).
+func (c *genomeCache) get(ctx context.Context, path string) (*crisprscan.Genome, bool, error) {
 	key, err := c.key(path)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
@@ -124,12 +127,12 @@ func (c *genomeCache) get(ctx context.Context, path string) (*crisprscan.Genome,
 		select {
 		case <-e.ready:
 		case <-ctx.Done():
-			return nil, fmt.Errorf("scanserve: waiting for genome %s: %w", path, ctx.Err())
+			return nil, true, fmt.Errorf("scanserve: waiting for genome %s: %w", path, ctx.Err())
 		}
 		if e.err != nil {
-			return nil, e.err
+			return nil, true, e.err
 		}
-		return e.g, nil
+		return e.g, true, nil
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
 	c.entries[key] = e
@@ -151,9 +154,9 @@ func (c *genomeCache) get(ctx context.Context, path string) (*crisprscan.Genome,
 	}
 	c.mu.Unlock()
 	if e.err != nil {
-		return nil, e.err
+		return nil, false, e.err
 	}
-	return e.g, nil
+	return e.g, false, nil
 }
 
 // touchLocked moves key to the most-recent end. Caller holds mu.

@@ -45,7 +45,7 @@ func TestCacheSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = c.get(context.Background(), paths[0])
+			results[i], _, errs[i] = c.get(context.Background(), paths[0])
 		}(i)
 	}
 	// Release the one loader everyone must be waiting on.
@@ -80,7 +80,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	ctx := context.Background()
 	mustGet := func(p string) {
 		t.Helper()
-		if _, err := c.get(ctx, p); err != nil {
+		if _, _, err := c.get(ctx, p); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -114,14 +114,14 @@ func TestCacheFailedLoadIsRetried(t *testing.T) {
 		return &crisprscan.Genome{}, nil
 	})
 	ctx := context.Background()
-	if _, err := c.get(ctx, paths[0]); err == nil {
+	if _, _, err := c.get(ctx, paths[0]); err == nil {
 		t.Fatal("failed load returned no error")
 	}
 	if st := c.stats(); st.Resident != 0 {
 		t.Fatalf("failed load cached (%d resident)", st.Resident)
 	}
 	fail = false
-	if _, err := c.get(ctx, paths[0]); err != nil {
+	if _, _, err := c.get(ctx, paths[0]); err != nil {
 		t.Fatalf("retry after failed load: %v", err)
 	}
 }
@@ -134,7 +134,7 @@ func TestCacheKeyTracksFileIdentity(t *testing.T) {
 		return &crisprscan.Genome{}, nil
 	})
 	ctx := context.Background()
-	if _, err := c.get(ctx, paths[0]); err != nil {
+	if _, _, err := c.get(ctx, paths[0]); err != nil {
 		t.Fatal(err)
 	}
 	// Replacing the file's content (size changes) must rotate the entry
@@ -142,13 +142,13 @@ func TestCacheKeyTracksFileIdentity(t *testing.T) {
 	if err := os.WriteFile(paths[0], []byte(">chr1\nACGTACGTACGT\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.get(ctx, paths[0]); err != nil {
+	if _, _, err := c.get(ctx, paths[0]); err != nil {
 		t.Fatal(err)
 	}
 	if loads != 2 {
 		t.Fatalf("loads = %d after file replacement, want 2", loads)
 	}
-	if _, err := c.get(ctx, filepath.Join(t.TempDir(), "missing.fa")); err == nil {
+	if _, _, err := c.get(ctx, filepath.Join(t.TempDir(), "missing.fa")); err == nil {
 		t.Fatal("missing genome file produced no error")
 	}
 }
@@ -168,7 +168,7 @@ func TestCacheSharedSeedIndex(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			gg, ix, err := c.getIndex(context.Background(), paths[0])
+			gg, ix, _, err := c.getIndex(context.Background(), paths[0])
 			if err != nil {
 				t.Error(err)
 				return
@@ -201,11 +201,11 @@ func TestCacheIndexSurvivesWithinEntry(t *testing.T) {
 	g := crisprscan.SynthesizeGenome(crisprscan.SynthConfig{Seed: 32, ChromLen: 1500, NumChroms: 1})
 	c := newGenomeCache(1, func(path string) (*crisprscan.Genome, error) { return g, nil })
 
-	_, first, err := c.getIndex(context.Background(), paths[0])
+	_, first, _, err := c.getIndex(context.Background(), paths[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, again, err := c.getIndex(context.Background(), paths[0])
+	_, again, _, err := c.getIndex(context.Background(), paths[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestCacheIndexSurvivesWithinEntry(t *testing.T) {
 	if err := os.WriteFile(paths[0], []byte(">chr1\nACGTACGTACGT\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, rotated, err := c.getIndex(context.Background(), paths[0])
+	_, rotated, _, err := c.getIndex(context.Background(), paths[0])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,21 +37,31 @@ func (s *Service) scanAttempt(ctx context.Context, job *Job, rec *metrics.Record
 	guides := job.Spec.guides()
 	params := job.Spec.params()
 	var g *crisprscan.Genome
+	var hit bool
 	var err error
+	// The cache-load span hangs under the attempt span carried by ctx
+	// and is annotated hit/miss — the first question for a slow job.
+	cspan, cacheEnd := metrics.SpanFromContext(ctx).StartChild("cache-load")
 	if params.Engine == crisprscan.EngineSeedIndex {
 		// Seed-index jobs share one table per resident genome; the build
 		// is single-flight inside the cache entry.
 		var ix *crisprscan.SeedIndex
-		g, ix, err = s.cache.getIndex(ctx, job.ResolvedGenome)
-		if err != nil {
-			return err
-		}
+		g, ix, hit, err = s.cache.getIndex(ctx, job.ResolvedGenome)
 		params.SeedIndex = ix
 	} else {
-		g, err = s.cache.get(ctx, job.ResolvedGenome)
-		if err != nil {
-			return err
-		}
+		g, hit, err = s.cache.get(ctx, job.ResolvedGenome)
+	}
+	if hit {
+		cspan.SetAttr("cache", "hit")
+	} else {
+		cspan.SetAttr("cache", "miss")
+	}
+	if err != nil {
+		cspan.SetAttr("error", err.Error())
+	}
+	cacheEnd()
+	if err != nil {
+		return err
 	}
 	if params.Workers > s.cfg.Workers*4 && s.cfg.Workers > 0 {
 		// A tenant cannot commandeer the host by asking for 10k workers.

@@ -60,6 +60,27 @@ type Config struct {
 	// Log receives service events (default slog.Default()).
 	Log *slog.Logger
 
+	// TraceMode selects span recording per job: metrics.SampleAlways
+	// (the default, also for ""), metrics.SampleRatio (a deterministic
+	// per-tenant fraction), or metrics.SampleErrors (record everything,
+	// retain only failed or retried jobs in the flight recorder).
+	TraceMode string
+	// TraceRatio is the default sampling probability in ratio mode.
+	TraceRatio float64
+	// TenantTraceRatio overrides TraceRatio per tenant in ratio mode.
+	TenantTraceRatio map[string]float64
+	// FlightEntries bounds the in-memory flight recorder behind
+	// /debug/trace (default 64 traces).
+	FlightEntries int
+	// TraceFile, when set, writes each finished job's Chrome trace to
+	// this file name inside the job's spool directory; the file is
+	// removed when the job's flight-recorder entry is evicted. Path
+	// components are stripped.
+	TraceFile string
+	// MaxTenantLabels caps the tenant-label cardinality on /metrics
+	// (default 32); tenants beyond the cap fold into the "other" label.
+	MaxTenantLabels int
+
 	// RunScan, when non-nil, replaces the whole scan attempt — the
 	// deterministic-test seam (pair with faultinject). The production
 	// path (genome cache, checkpointed streaming scan, watermarked
@@ -82,11 +103,14 @@ type Config struct {
 // genome cache, and graceful drain. Construct with New, call Start,
 // submit with Submit, stop with Drain.
 type Service struct {
-	cfg   Config
-	log   *slog.Logger
-	store *store
-	cache *genomeCache
-	quota *quotas
+	cfg     Config
+	log     *slog.Logger
+	store   *store
+	cache   *genomeCache
+	quota   *quotas
+	sampler metrics.TraceSampler
+	flight  *metrics.FlightRecorder
+	tenants *tenantSet
 
 	jitterMu sync.Mutex
 	jitter   *rand.Rand // guarded by jitterMu
@@ -96,8 +120,9 @@ type Service struct {
 	ring      []string            // guarded by mu; tenants with queued work, round-robin order
 	rrNext    int                 // guarded by mu
 	running   map[string]*runningJob
-	accepting bool // guarded by mu
-	started   bool // guarded by mu
+	traces    map[string]*jobTrace // guarded by mu; live (unsealed) job traces
+	accepting bool                 // guarded by mu
+	started   bool                 // guarded by mu
 
 	wake    chan struct{} // 1-buffered worker doorbell
 	quit    chan struct{} // closed by Drain: workers stop picking jobs
@@ -170,6 +195,17 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Log == nil {
 		cfg.Log = slog.Default()
 	}
+	switch cfg.TraceMode {
+	case "", metrics.SampleAlways, metrics.SampleRatio, metrics.SampleErrors:
+	default:
+		return nil, fmt.Errorf("scanserve: unknown trace mode %q (want always, ratio, or errors)", cfg.TraceMode)
+	}
+	if cfg.TraceFile != "" {
+		cfg.TraceFile = filepath.Base(cfg.TraceFile)
+	}
+	if cfg.MaxTenantLabels <= 0 {
+		cfg.MaxTenantLabels = 32
+	}
 	if cfg.RunScan == nil && cfg.DefaultGenome == "" && cfg.GenomeDir == "" {
 		return nil, fmt.Errorf("scanserve: neither a default genome nor a genome directory is configured")
 	}
@@ -178,16 +214,25 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	s := &Service{
-		cfg:     cfg,
-		log:     cfg.Log,
-		store:   st,
-		cache:   newGenomeCache(cfg.CacheGenomes, cfg.LoadGenome),
-		quota:   newQuotas(cfg.QuotaRate, cfg.QuotaBurst, nil),
+		cfg:   cfg,
+		log:   cfg.Log,
+		store: st,
+		cache: newGenomeCache(cfg.CacheGenomes, cfg.LoadGenome),
+		quota: newQuotas(cfg.QuotaRate, cfg.QuotaBurst, nil),
+		sampler: metrics.TraceSampler{
+			Mode: cfg.TraceMode, Ratio: cfg.TraceRatio, TenantRatio: cfg.TenantTraceRatio,
+		},
+		flight:  metrics.NewFlightRecorder(cfg.FlightEntries),
+		tenants: newTenantSet(cfg.MaxTenantLabels),
 		jitter:  rand.New(rand.NewSource(cfg.Seed)),
 		queues:  make(map[string][]string),
 		running: make(map[string]*runningJob),
+		traces:  make(map[string]*jobTrace),
 		wake:    make(chan struct{}, 1),
 		quit:    make(chan struct{}),
+	}
+	if cfg.TraceFile != "" {
+		s.flight.OnEvict(s.removeTraceFile)
 	}
 	// Requeue every non-terminal job in creation order: queued jobs
 	// from a clean drain plus running jobs the crash recovery demoted.
@@ -249,12 +294,20 @@ func (e *RetryAfterError) Error() string {
 	return fmt.Sprintf("scanserve: %s (retry after %s)", e.Reason, e.RetryAfter)
 }
 
-// Submit validates, admits, persists and enqueues one job. Admission
-// control is strictly ordered: drain state, then spec validity, then
-// the tenant's token bucket, then global queue depth — so a draining
-// service never spends quota and a throttled tenant cannot probe queue
-// depth.
+// Submit validates, admits, persists and enqueues one job with a fresh
+// trace. Admission control is strictly ordered: drain state, then spec
+// validity, then the tenant's token bucket, then global queue depth —
+// so a draining service never spends quota and a throttled tenant
+// cannot probe queue depth.
 func (s *Service) Submit(tenant string, spec JobSpec) (Job, error) {
+	return s.SubmitTraced(tenant, spec, "")
+}
+
+// SubmitTraced is Submit joining an inbound W3C traceparent: the job's
+// trace inherits the caller's trace ID, so the submitter's own tracing
+// system and /debug/trace/{jobID} tell one story. A malformed header
+// degrades to a fresh root trace — never a rejection.
+func (s *Service) SubmitTraced(tenant string, spec JobSpec, traceparent string) (Job, error) {
 	if tenant == "" {
 		tenant = "default"
 	}
@@ -270,6 +323,7 @@ func (s *Service) Submit(tenant string, spec JobSpec) (Job, error) {
 	}
 	if ok, retryAfter := s.quota.allow(tenant); !ok {
 		s.throttled.Add(1)
+		s.tenants.counters(tenant).throttled.Add(1)
 		return Job{}, &RetryAfterError{Reason: fmt.Sprintf("tenant %s over quota", tenant), RetryAfter: retryAfter}
 	}
 	s.mu.Lock()
@@ -280,20 +334,31 @@ func (s *Service) Submit(tenant string, spec JobSpec) (Job, error) {
 	if depth >= s.cfg.MaxQueue {
 		s.mu.Unlock()
 		s.shed.Add(1)
+		s.tenants.counters(tenant).shed.Add(1)
 		return Job{}, &RetryAfterError{Reason: fmt.Sprintf("queue full (%d jobs)", depth), RetryAfter: s.cfg.ShedRetryAfter}
 	}
 	s.mu.Unlock()
-	job, err := s.store.create(tenant, spec, genomePath)
+	ident, tr := s.admitTrace(tenant, traceparent)
+	// The admission span covers the durable create: the fsync'd record
+	// write is the admission cost worth seeing in a trace.
+	_, admitEnd := tr.Root().StartChild("admission")
+	job, err := s.store.create(tenant, spec, genomePath, ident)
+	admitEnd()
 	if err != nil {
 		return Job{}, err
 	}
+	jt := newJobTrace(tr)
+	s.trackTrace(job.ID, jt)
+	jt.beginQueueWait()
 	s.mu.Lock()
 	s.enqueueLocked(tenant, job.ID)
 	s.mu.Unlock()
 	s.submitted.Add(1)
+	s.tenants.counters(tenant).submitted.Add(1)
 	s.queuedGa.Add(1)
 	s.ding()
-	s.log.Info("job submitted", "job", job.ID, "tenant", tenant, "guides", len(spec.Guides), "k", spec.K)
+	s.log.Info("job submitted", "job", job.ID, "tenant", tenant,
+		"guides", len(spec.Guides), "k", spec.K, "trace", job.TraceID)
 	return job, nil
 }
 
@@ -453,6 +518,10 @@ func (s *Service) Cancel(id string) (Job, error) {
 		}
 	}
 	s.mu.Unlock()
+	// Removed from its queue under the lock, the job cannot be
+	// dispatched anymore; this cancel owns the terminal transition, so
+	// seal the trace before publishing it (same ordering as finish).
+	s.sealTrace(id, StateCancelled, job.Retries)
 	updated, err := s.store.update(id, func(j *Job) {
 		if !j.State.Terminal() {
 			j.State = StateCancelled
@@ -564,6 +633,14 @@ func (s *Service) runJob(id string) {
 		s.runningGa.Add(-1)
 	}()
 
+	jt := s.traceOf(id)
+	if jt == nil && job.TraceSampled && job.TraceID != "" {
+		// Sampled job adopted from a previous process (crash or drain
+		// resume): rebuild its trace under the same trace ID.
+		jt = s.resumeTrace(&job)
+	}
+	jt.endQueueWait()
+
 	if _, err := s.store.update(id, func(j *Job) { j.State = StateRunning; j.Attempts++ }); err != nil {
 		s.log.Error("persisting running state", "job", id, "err", err)
 	}
@@ -638,7 +715,9 @@ func (s *Service) retryable(ctx context.Context, id string, job *Job, cause erro
 	}
 	*job = updated
 	s.retried.Add(1)
+	s.tenants.counters(job.Tenant).retried.Add(1)
 	d := s.backoff(job.Retries)
+	s.traceOf(id).root().Eventf("retry %d after %s: %v", job.Retries, d, cause)
 	log.Info("retrying after transient failure", "retry", job.Retries, "backoff", d, "err", cause)
 	return s.sleep(ctx, d) == nil
 }
@@ -651,11 +730,22 @@ func (s *Service) requeueForResume(id string) {
 		s.log.Error("re-queueing drained job", "job", id, "err", err)
 		return
 	}
+	jt := s.traceOf(id)
+	jt.root().Eventf("checkpointed for resume")
+	jt.beginQueueWait()
 	s.drainedReq.Add(1)
 }
 
-// finish records a terminal state.
+// finish records a terminal state. The trace is sealed before the
+// terminal state is published, so a client that has observed a
+// terminal record never reads a still-open root span (or a missing
+// per-job trace file) from /debug/trace.
 func (s *Service) finish(id string, st State, cause error) {
+	retries := 0
+	if job, ok := s.store.get(id); ok {
+		retries = job.Retries
+	}
+	s.sealTrace(id, st, retries)
 	_, err := s.store.update(id, func(j *Job) {
 		j.State = st
 		if cause != nil {
@@ -686,6 +776,19 @@ func (s *Service) attempt(baseCtx context.Context, job *Job, rj *runningJob) err
 	s.mu.Lock()
 	rj.prog = prog
 	s.mu.Unlock()
+	// Each dispatch is a sibling "attempt N" span under the job root; it
+	// becomes the ambient parent, so the seam spans the engines emit
+	// (compile, per-chromosome scans, worker chunks) land under it with
+	// no engine signature changes. Unsampled jobs leave the recorder's
+	// tracer nil — the provably zero-overhead fast path.
+	jt := s.traceOf(job.ID)
+	// Attempts counts dispatches and Retries counts in-dispatch re-runs;
+	// their sum is the unique ordinal that keeps sibling attempt spans
+	// distinct across both retries and crash-resume re-dispatches.
+	aspan, attemptEnd := jt.startAttempt(job.Attempts + job.Retries)
+	defer attemptEnd()
+	jt.install(rec)
+	ctx = metrics.ContextWithSpan(ctx, aspan)
 	var finish func()
 	if s.cfg.OnScanStart != nil {
 		finish = s.cfg.OnScanStart(*job, rec, prog)
@@ -693,7 +796,7 @@ func (s *Service) attempt(baseCtx context.Context, job *Job, rj *runningJob) err
 	if finish != nil {
 		defer finish()
 	}
-	return arch.Recovered(rec, func(r any) error {
+	err := arch.Recovered(rec, func(r any) error {
 		return MarkPermanent(fmt.Errorf("scanserve: job %s panicked: %v", job.ID, r))
 	}, func() error {
 		if s.cfg.RunScan != nil {
@@ -701,4 +804,8 @@ func (s *Service) attempt(baseCtx context.Context, job *Job, rj *runningJob) err
 		}
 		return s.scanAttempt(ctx, job, rec, prog)
 	})
+	if err != nil {
+		aspan.SetAttr("error", err.Error())
+	}
+	return err
 }

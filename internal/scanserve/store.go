@@ -87,8 +87,8 @@ func openStore(dir string) (s *store, recovered []string, err error) {
 }
 
 // create allocates a job ID, its directory, and the initial queued
-// record.
-func (s *store) create(tenant string, spec JobSpec, resolvedGenome string) (Job, error) {
+// record carrying its trace identity.
+func (s *store) create(tenant string, spec JobSpec, resolvedGenome string, trace traceIdentity) (Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	id := fmt.Sprintf("j%06d", s.nextID)
@@ -97,7 +97,8 @@ func (s *store) create(tenant string, spec JobSpec, resolvedGenome string) (Job,
 	j := &Job{
 		ID: id, Tenant: tenant, Spec: spec, State: StateQueued,
 		ResolvedGenome: resolvedGenome,
-		CreatedUnix:    now, UpdatedUnix: now,
+		TraceID:        trace.id, TraceRoot: trace.root, TraceSampled: trace.sampled,
+		CreatedUnix: now, UpdatedUnix: now,
 	}
 	if err := os.MkdirAll(s.jobDir(id), 0o755); err != nil {
 		return Job{}, fmt.Errorf("scanserve: creating job %s: %w", id, err)

@@ -1,0 +1,96 @@
+package scanserve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// overflowTenant is the label the cardinality cap folds excess tenants
+// into: an abusive (or buggy) client minting a new tenant name per
+// request cannot grow the /metrics exposition without bound.
+const overflowTenant = "other"
+
+// tenantCounters is one tenant's slice of the service counters.
+type tenantCounters struct {
+	submitted atomic.Int64
+	retried   atomic.Int64
+	shed      atomic.Int64
+	throttled atomic.Int64
+}
+
+// tenantSet is the capped tenant-label registry behind the per-tenant
+// /metrics families. The first max distinct tenants get their own
+// label; later ones share the "other" bucket.
+type tenantSet struct {
+	mu       sync.Mutex
+	max      int
+	m        map[string]*tenantCounters // guarded by mu
+	overflow tenantCounters
+}
+
+// newTenantSet builds a registry admitting up to max distinct labels.
+func newTenantSet(max int) *tenantSet {
+	if max < 1 {
+		max = 1
+	}
+	return &tenantSet{max: max, m: make(map[string]*tenantCounters)}
+}
+
+// counters returns tenant's counter block, folding past-cap tenants
+// into the overflow bucket.
+func (t *tenantSet) counters(tenant string) *tenantCounters {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.m[tenant]; ok {
+		return c
+	}
+	if tenant == overflowTenant || len(t.m) >= t.max {
+		return &t.overflow
+	}
+	c := &tenantCounters{}
+	t.m[tenant] = c
+	return c
+}
+
+// label maps a tenant name to its exposition label: itself while under
+// the cap, "other" beyond it. It never admits a new label.
+func (t *tenantSet) label(tenant string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.m[tenant]; ok {
+		return tenant
+	}
+	return overflowTenant
+}
+
+// tenantSample is one tenant's counter snapshot for /metrics.
+type tenantSample struct {
+	tenant                              string
+	submitted, retried, shed, throttled int64
+}
+
+// snapshot returns every admitted tenant plus, when touched, the
+// overflow bucket, sorted by label for deterministic exposition.
+func (t *tenantSet) snapshot() []tenantSample {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]tenantSample, 0, len(t.m)+1)
+	for name, c := range t.m {
+		out = append(out, tenantSample{
+			tenant:    name,
+			submitted: c.submitted.Load(), retried: c.retried.Load(),
+			shed: c.shed.Load(), throttled: c.throttled.Load(),
+		})
+	}
+	o := tenantSample{
+		tenant:    overflowTenant,
+		submitted: t.overflow.submitted.Load(), retried: t.overflow.retried.Load(),
+		shed: t.overflow.shed.Load(), throttled: t.overflow.throttled.Load(),
+	}
+	if o.submitted+o.retried+o.shed+o.throttled > 0 {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].tenant < out[b].tenant })
+	return out
+}
